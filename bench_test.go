@@ -1,0 +1,223 @@
+// Benchmarks regenerating every figure and table of the paper's
+// evaluation (run `go test -bench=. -benchmem`, or `cmd/benchfig` for
+// TSV/ASCII artefacts), plus end-to-end sorting throughput benches.
+package demsort_test
+
+import (
+	"fmt"
+	"testing"
+
+	demsort "demsort"
+	"demsort/internal/baseline"
+	"demsort/internal/workload"
+)
+
+var benchSink any
+
+// BenchmarkFig2 regenerates Figure 2 (per-phase times, random input,
+// weak scaling P = 1..64).
+func BenchmarkFig2(b *testing.B) {
+	s := demsort.DefaultScale()
+	for i := 0; i < b.N; i++ {
+		f, err := demsort.Fig2(s)
+		if err != nil {
+			b.Fatal(err)
+		}
+		benchSink = f
+	}
+}
+
+// BenchmarkFig3 regenerates Figure 3 (per-PE wall vs I/O time, 32 nodes).
+func BenchmarkFig3(b *testing.B) {
+	s := demsort.DefaultScale()
+	for i := 0; i < b.N; i++ {
+		f, err := demsort.Fig3(s)
+		if err != nil {
+			b.Fatal(err)
+		}
+		benchSink = f
+	}
+}
+
+// BenchmarkFig4 regenerates Figure 4 (worst case with randomization).
+func BenchmarkFig4(b *testing.B) {
+	s := demsort.DefaultScale()
+	for i := 0; i < b.N; i++ {
+		f, err := demsort.Fig4(s)
+		if err != nil {
+			b.Fatal(err)
+		}
+		benchSink = f
+	}
+}
+
+// BenchmarkFig5 regenerates Figure 5 (all-to-all I/O volume ratios).
+func BenchmarkFig5(b *testing.B) {
+	s := demsort.DefaultScale()
+	for i := 0; i < b.N; i++ {
+		f, err := demsort.Fig5(s)
+		if err != nil {
+			b.Fatal(err)
+		}
+		benchSink = f
+	}
+}
+
+// BenchmarkFig6 regenerates Figure 6 (worst case without randomization).
+func BenchmarkFig6(b *testing.B) {
+	s := demsort.DefaultScale()
+	for i := 0; i < b.N; i++ {
+		f, err := demsort.Fig6(s)
+		if err != nil {
+			b.Fatal(err)
+		}
+		benchSink = f
+	}
+}
+
+// BenchmarkSortBenchTable regenerates the §VI SortBenchmark comparison.
+func BenchmarkSortBenchTable(b *testing.B) {
+	s := demsort.DefaultScale()
+	for i := 0; i < b.N; i++ {
+		t, err := demsort.SortBenchTable(s)
+		if err != nil {
+			b.Fatal(err)
+		}
+		benchSink = t
+	}
+}
+
+// BenchmarkCapacityTable evaluates the §IV-D capacity bounds.
+func BenchmarkCapacityTable(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		benchSink = demsort.CapacityTable()
+	}
+}
+
+// BenchmarkAblationBlockSize sweeps B (Appendix C's √B law).
+func BenchmarkAblationBlockSize(b *testing.B) {
+	s := demsort.DefaultScale()
+	for i := 0; i < b.N; i++ {
+		f, err := demsort.AblationBlockSize(s)
+		if err != nil {
+			b.Fatal(err)
+		}
+		benchSink = f
+	}
+}
+
+// BenchmarkAblationOverlap toggles §IV-E I/O overlapping.
+func BenchmarkAblationOverlap(b *testing.B) {
+	s := demsort.DefaultScale()
+	for i := 0; i < b.N; i++ {
+		f, err := demsort.AblationOverlap(s)
+		if err != nil {
+			b.Fatal(err)
+		}
+		benchSink = f
+	}
+}
+
+// BenchmarkAblationSampleK sweeps the sampling distance K (§IV-A).
+func BenchmarkAblationSampleK(b *testing.B) {
+	s := demsort.DefaultScale()
+	for i := 0; i < b.N; i++ {
+		f, err := demsort.AblationSampleK(s)
+		if err != nil {
+			b.Fatal(err)
+		}
+		benchSink = f
+	}
+}
+
+// BenchmarkAblationStripedVsCanonical compares Sections III and IV.
+func BenchmarkAblationStripedVsCanonical(b *testing.B) {
+	s := demsort.DefaultScale()
+	for i := 0; i < b.N; i++ {
+		t, err := demsort.AblationStripedVsCanonical(s)
+		if err != nil {
+			b.Fatal(err)
+		}
+		benchSink = t
+	}
+}
+
+// BenchmarkAblationPrefetch compares Appendix A's prefetch schedules.
+func BenchmarkAblationPrefetch(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		f, err := demsort.AblationPrefetch()
+		if err != nil {
+			b.Fatal(err)
+		}
+		benchSink = f
+	}
+}
+
+// BenchmarkBaselineSkewTable regenerates the §II skew comparison.
+func BenchmarkBaselineSkewTable(b *testing.B) {
+	s := demsort.DefaultScale()
+	for i := 0; i < b.N; i++ {
+		t, err := demsort.BaselineSkewTable(s)
+		if err != nil {
+			b.Fatal(err)
+		}
+		benchSink = t
+	}
+}
+
+// BenchmarkSortCanonical measures end-to-end host throughput of the
+// simulated sort for several machine sizes.
+func BenchmarkSortCanonical(b *testing.B) {
+	for _, p := range []int{1, 4, 16} {
+		b.Run(fmt.Sprintf("P%d", p), func(b *testing.B) {
+			input := workload.Generate(workload.Uniform, p, 24576, 7)
+			opts := demsort.NewOptions(p, 8192, 1024)
+			b.SetBytes(int64(p) * 24576 * 16)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				res, err := demsort.Sort[demsort.KV16](demsort.KV16Codec{}, opts, input)
+				if err != nil {
+					b.Fatal(err)
+				}
+				benchSink = res
+			}
+		})
+	}
+}
+
+// BenchmarkSortStriped measures the Section III algorithm end to end.
+// The input per PE is smaller than the canonical bench's because the
+// striped algorithm additionally holds the full prediction table
+// (N/B entries) in every PE's memory budget.
+func BenchmarkSortStriped(b *testing.B) {
+	for _, p := range []int{4, 16} {
+		b.Run(fmt.Sprintf("P%d", p), func(b *testing.B) {
+			input := workload.Generate(workload.Uniform, p, 16384, 7)
+			opts := demsort.NewStripedOptions(p, 8192, 1024)
+			b.SetBytes(int64(p) * 16384 * 16)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				res, err := demsort.SortStriped[demsort.KV16](demsort.KV16Codec{}, opts, input)
+				if err != nil {
+					b.Fatal(err)
+				}
+				benchSink = res
+			}
+		})
+	}
+}
+
+// BenchmarkSampleSortBaseline measures the NOW-Sort-style baseline.
+func BenchmarkSampleSortBaseline(b *testing.B) {
+	input := workload.Generate(workload.Uniform, 8, 24576, 7)
+	cfg := baseline.DefaultConfig(8, 8192, 1024)
+	b.SetBytes(8 * 24576 * 16)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := baseline.SampleSort[demsort.KV16](demsort.KV16Codec{}, cfg, input)
+		if err != nil {
+			b.Fatal(err)
+		}
+		benchSink = res
+	}
+}

@@ -1,0 +1,102 @@
+// Command demsort sorts a generated workload on the simulated
+// distributed-memory cluster and prints the per-phase breakdown,
+// validation verdict and throughput — a one-shot view of the system.
+//
+// Usage:
+//
+//	demsort [-p 8] [-n 24576] [-mem 8192] [-block 1024]
+//	        [-workload uniform|worstcase|reversed|narrow|allequal|hotkey|sorted]
+//	        [-randomize=true] [-striped] [-seed 1]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	demsort "demsort"
+	"demsort/internal/workload"
+)
+
+func main() {
+	p := flag.Int("p", 8, "number of PEs (cluster nodes)")
+	n := flag.Int("n", 24576, "elements per PE")
+	mem := flag.Int64("mem", 8192, "internal memory budget per PE (elements)")
+	block := flag.Int("block", 1024, "block size in bytes")
+	kind := flag.String("workload", "uniform", "input distribution")
+	randomize := flag.Bool("randomize", true, "shuffle input blocks before run formation")
+	striped := flag.Bool("striped", false, "use the globally striped algorithm (Section III)")
+	seed := flag.Uint64("seed", 1, "random seed")
+	flag.Parse()
+
+	input := workload.Generate(workload.Kind(*kind), *p, *n, *seed)
+	var ref []demsort.KV16
+	for _, part := range input {
+		ref = append(ref, part...)
+	}
+	nBytes := int64(len(ref)) * 16
+
+	if *striped {
+		opts := demsort.NewStripedOptions(*p, *mem, *block)
+		opts.Model = demsort.ScaledModel(*block)
+		opts.Randomize = *randomize
+		opts.Seed = *seed
+		opts.KeepOutput = true
+		res, err := demsort.SortStriped[demsort.KV16](demsort.KV16Codec{}, opts, input)
+		fail(err)
+		fmt.Printf("globally striped mergesort: P=%d N=%d (%d runs, %d merge batches)\n",
+			res.P, res.N, res.Runs, res.Batches)
+		for _, ph := range res.PhaseNames {
+			read, written := res.PhaseBytes(ph)
+			fmt.Printf("  %-20s %10.4fs   io %s\n", ph, res.MaxWall(ph), fmtIO(read, written, nBytes))
+		}
+		okSorted := true
+		for i := 1; i < len(res.Output); i++ {
+			if res.Output[i].Key < res.Output[i-1].Key {
+				okSorted = false
+			}
+		}
+		verdict(okSorted && workload.Checksum(ref) == workload.Checksum(res.Output))
+		fmt.Printf("modelled total: %.4fs (%.2f MB/s equivalent)\n",
+			res.TotalWall(), float64(nBytes)/1e6/res.TotalWall())
+		return
+	}
+
+	opts := demsort.NewOptions(*p, *mem, *block)
+	opts.Model = demsort.ScaledModel(*block)
+	opts.Randomize = *randomize
+	opts.Seed = *seed
+	opts.KeepOutput = true
+	res, err := demsort.Sort[demsort.KV16](demsort.KV16Codec{}, opts, input)
+	fail(err)
+	fmt.Printf("CanonicalMergeSort: P=%d N=%d (R=%d runs, k=%d sub-operations)\n",
+		res.P, res.N, res.Runs, res.SubOps)
+	for _, ph := range res.PhaseNames {
+		read, written := res.PhaseBytes(ph)
+		fmt.Printf("  %-20s %10.4fs   io %s\n", ph, res.MaxWall(ph), fmtIO(read, written, nBytes))
+	}
+	verdict(res.Validate(demsort.KV16Codec{}, input) == nil)
+	fmt.Printf("modelled total: %.4fs (%.2f MB/s equivalent)\n",
+		res.TotalWall(), float64(nBytes)/1e6/res.TotalWall())
+}
+
+func fmtIO(read, written, nBytes int64) string {
+	return fmt.Sprintf("read %.2fxN write %.2fxN",
+		float64(read)/float64(nBytes), float64(written)/float64(nBytes))
+}
+
+func verdict(ok bool) {
+	if ok {
+		fmt.Println("validation: OK (sorted, exact partition, permutation of input)")
+		return
+	}
+	fmt.Println("validation: FAILED")
+	os.Exit(1)
+}
+
+func fail(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+}

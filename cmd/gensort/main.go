@@ -1,0 +1,78 @@
+// Command gensort writes SortBenchmark-style 100-byte records to a
+// file, like the benchmark's gensort tool ("This setting considers
+// 100-byte elements with a 10-byte key").
+//
+// Usage:
+//
+//	gensort [-seed 1] [-start 0] [-skew 0] <count> <file>
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+
+	"demsort/internal/sortbench"
+)
+
+func main() {
+	seed := flag.Uint64("seed", 1, "generator seed")
+	start := flag.Int64("start", 0, "first record index (for tiled generation)")
+	skew := flag.Int("skew", 0, "records out of 10 sharing a hot key prefix (0-10)")
+	flag.Parse()
+	if flag.NArg() != 2 {
+		fmt.Fprintln(os.Stderr, "usage: gensort [-seed S] [-start I] [-skew K] <count> <file>")
+		os.Exit(2)
+	}
+	count, err := strconv.ParseInt(flag.Arg(0), 10, 64)
+	if err != nil || count < 0 {
+		fmt.Fprintln(os.Stderr, "gensort: bad count")
+		os.Exit(2)
+	}
+	f, err := os.Create(flag.Arg(1))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	w := bufio.NewWriterSize(f, 1<<20)
+	var recs = func(lo, n int64) [][100]byte {
+		if *skew > 0 {
+			rs := sortbench.Skewed(*seed, lo, n, *skew)
+			out := make([][100]byte, len(rs))
+			for i := range rs {
+				out[i] = rs[i]
+			}
+			return out
+		}
+		rs := sortbench.Generate(*seed, lo, n)
+		out := make([][100]byte, len(rs))
+		for i := range rs {
+			out[i] = rs[i]
+		}
+		return out
+	}
+	const chunk = 16384
+	for off := int64(0); off < count; off += chunk {
+		n := chunk
+		if off+int64(n) > count {
+			n = int(count - off)
+		}
+		for _, r := range recs(*start+off, int64(n)) {
+			if _, err := w.Write(r[:]); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+		}
+	}
+	if err := w.Flush(); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	if err := f.Close(); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	fmt.Printf("wrote %d records (%d bytes) to %s\n", count, count*100, flag.Arg(1))
+}

@@ -1,0 +1,54 @@
+// Command valsort validates a file of 100-byte records, like the
+// SortBenchmark's valsort: order violations, record count, duplicate
+// keys and an order-independent checksum (for comparing against the
+// input file's digest).
+//
+// Usage:
+//
+//	valsort <file> [<file>...]
+//
+// Multiple files are treated as consecutive partitions of one sorted
+// sequence; cross-boundary order is checked too.
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"demsort/internal/elem"
+	"demsort/internal/sortbench"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		fmt.Fprintln(os.Stderr, "usage: valsort <file> [<file>...]")
+		os.Exit(2)
+	}
+	var parts []sortbench.Summary
+	for _, path := range os.Args[1:] {
+		data, err := os.ReadFile(path)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		if len(data)%100 != 0 {
+			fmt.Fprintf(os.Stderr, "valsort: %s is not a whole number of 100-byte records\n", path)
+			os.Exit(1)
+		}
+		recs := make([]elem.Rec100, len(data)/100)
+		for i := range recs {
+			copy(recs[i][:], data[i*100:])
+		}
+		parts = append(parts, sortbench.Validate(recs))
+	}
+	s := sortbench.Merge(parts)
+	fmt.Printf("records:    %d\n", s.Records)
+	fmt.Printf("unsorted:   %d\n", s.Unsorted)
+	fmt.Printf("duplicates: %d (adjacent equal keys)\n", s.Duplicate)
+	fmt.Printf("checksum:   %016x\n", s.Checksum)
+	if s.Unsorted > 0 {
+		fmt.Println("NOT SORTED")
+		os.Exit(1)
+	}
+	fmt.Println("SORTED")
+}

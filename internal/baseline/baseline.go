@@ -1,0 +1,387 @@
+// Package baseline implements the comparison algorithms the paper
+// positions itself against:
+//
+//   - SampleSort: a NOW-Sort-style distribution sort (Arpaci-Dusseau
+//     et al., SIGMOD 1997). One pass reads the input and routes every
+//     record to its destination PE using splitters estimated from a
+//     key sample; each PE then sorts what it received externally. Fast
+//     for random inputs, but "it only works efficiently for random
+//     inputs. In the worst case, it deteriorates to a sequential
+//     algorithm since all the data ends up in a single processor"
+//     (§II) — the skew experiments measure exactly that.
+//
+//   - ExternalMergeSortSeq: the classic single-node two-pass external
+//     mergesort, the P = 1 reference point.
+package baseline
+
+import (
+	"fmt"
+	"math/rand/v2"
+	"sort"
+
+	"demsort/internal/blockio"
+	"demsort/internal/cluster"
+	"demsort/internal/elem"
+	"demsort/internal/pq"
+	"demsort/internal/psort"
+	"demsort/internal/vtime"
+)
+
+// Phase names of the sample sort.
+const (
+	PhaseSample     = "sampling"
+	PhaseDistribute = "distribute"
+	PhaseLocalSort  = "local external sort"
+)
+
+// Config parameterises the baselines (a subset of core.Config).
+type Config struct {
+	P           int
+	BlockBytes  int
+	MemElems    int64
+	Oversample  int // sample keys per PE (default 32)
+	Seed        uint64
+	RealWorkers int
+	KeepOutput  bool
+	Model       vtime.CostModel
+}
+
+// DefaultConfig mirrors core.DefaultConfig for the baselines.
+func DefaultConfig(p int, memElems int64, blockBytes int) Config {
+	return Config{
+		P:           p,
+		BlockBytes:  blockBytes,
+		MemElems:    memElems,
+		Oversample:  32,
+		Seed:        1,
+		RealWorkers: 1,
+		Model:       vtime.Default(),
+	}
+}
+
+// Result reports a baseline run.
+type Result[T any] struct {
+	P          int
+	N          int64
+	ElemSize   int
+	PhaseNames []string
+	PerPE      []map[string]*vtime.PhaseStats
+	// Output[rank] is PE rank's sorted part (KeepOutput only). Unlike
+	// CANONICALMERGESORT, part sizes are *not* exact — that is the
+	// point of the comparison.
+	Output [][]T
+	// PartSizes[rank] counts the elements PE rank ended up with; the
+	// imbalance ratio max/avg is the skew metric of the experiments.
+	PartSizes []int64
+}
+
+// MaxWall, TotalWall mirror core.Result.
+func (r *Result[T]) MaxWall(phase string) float64 {
+	var w float64
+	for _, st := range r.PerPE {
+		if s, ok := st[phase]; ok && s.Wall > w {
+			w = s.Wall
+		}
+	}
+	return w
+}
+
+// TotalWall returns the modelled running time.
+func (r *Result[T]) TotalWall() float64 {
+	var t float64
+	for _, ph := range r.PhaseNames {
+		t += r.MaxWall(ph)
+	}
+	return t
+}
+
+// Imbalance returns max partition size over the ideal N/P — 1.0 means
+// perfectly balanced, P means everything on one PE.
+func (r *Result[T]) Imbalance() float64 {
+	var maxPart int64
+	for _, s := range r.PartSizes {
+		if s > maxPart {
+			maxPart = s
+		}
+	}
+	if r.N == 0 {
+		return 1
+	}
+	return float64(maxPart) * float64(r.P) / float64(r.N)
+}
+
+// SampleSort runs the NOW-Sort-style distribution sort on the
+// simulated cluster.
+func SampleSort[T any](c elem.Codec[T], cfg Config, input [][]T) (*Result[T], error) {
+	if cfg.P < 1 || len(input) != cfg.P {
+		return nil, fmt.Errorf("baseline: bad machine size or input shape")
+	}
+	if cfg.Model == (vtime.CostModel{}) {
+		cfg.Model = vtime.Default()
+	}
+	if cfg.Oversample <= 0 {
+		cfg.Oversample = 32
+	}
+	if cfg.RealWorkers <= 0 {
+		cfg.RealWorkers = 1
+	}
+	sz := c.Size()
+	bElem := cfg.BlockBytes / sz
+	if bElem < 1 {
+		return nil, fmt.Errorf("baseline: block smaller than an element")
+	}
+
+	m, err := cluster.New(cluster.Config{
+		P: cfg.P, BlockBytes: cfg.BlockBytes, MemElems: cfg.MemElems, Model: cfg.Model,
+	})
+	if err != nil {
+		return nil, err
+	}
+	defer m.Close()
+
+	res := &Result[T]{
+		P:          cfg.P,
+		ElemSize:   sz,
+		PhaseNames: []string{PhaseSample, PhaseDistribute, PhaseLocalSort},
+		PerPE:      make([]map[string]*vtime.PhaseStats, cfg.P),
+		PartSizes:  make([]int64, cfg.P),
+	}
+	if cfg.KeepOutput {
+		res.Output = make([][]T, cfg.P)
+	}
+
+	err = m.Run(func(n *cluster.Node) error {
+		my := input[n.Rank]
+		// Load input to disk (unmeasured), block-aligned.
+		n.Clock.SetPhase("load")
+		var blocks []blockio.BlockID
+		var blockLens []int
+		for off := 0; off < len(my); off += bElem {
+			hi := off + bElem
+			if hi > len(my) {
+				hi = len(my)
+			}
+			id := n.Vol.Alloc()
+			n.Vol.WriteAsync(id, elem.EncodeSlice(c, my[off:hi]))
+			blocks = append(blocks, id)
+			blockLens = append(blockLens, hi-off)
+		}
+		n.Vol.Drain()
+		n.Barrier()
+
+		// Phase 1: sample keys and agree on splitters. NOW-Sort reads
+		// a random subset of keys — cheap, but only approximate.
+		n.Clock.SetPhase(PhaseSample)
+		rng := rand.New(rand.NewPCG(cfg.Seed, uint64(n.Rank)+0xBA5E))
+		sample := make([]T, 0, cfg.Oversample)
+		raw := make([]byte, cfg.BlockBytes)
+		for i := 0; i < cfg.Oversample && len(my) > 0; i++ {
+			b := int(rng.Uint64N(uint64(len(blocks))))
+			n.Vol.ReadWait(blocks[b], raw[:blockLens[b]*sz])
+			j := int(rng.Uint64N(uint64(blockLens[b])))
+			sample = append(sample, c.Decode(raw[j*sz:]))
+		}
+		all := n.AllGather(elem.EncodeSlice(c, sample))
+		var pool []T
+		for _, buf := range all {
+			pool = elem.AppendDecode(c, pool, buf, len(buf)/sz)
+		}
+		psort.Sort(c, pool, 1)
+		splitters := make([]T, 0, cfg.P-1)
+		for i := 1; i < cfg.P; i++ {
+			if len(pool) > 0 {
+				splitters = append(splitters, pool[len(pool)*i/cfg.P])
+			}
+		}
+		n.Clock.AddCPU(cfg.Model.SortCPU(int64(len(pool))))
+
+		// Phase 2: stream the input once, routing each element by
+		// binary search over the splitters; memory-sized flushes.
+		n.Clock.SetPhase(PhaseDistribute)
+		dest := func(v T) int {
+			if len(splitters) == 0 {
+				return 0
+			}
+			return sort.Search(len(splitters), func(i int) bool {
+				return c.Less(v, splitters[i])
+			})
+		}
+		// Received data goes to disk in sorted memory-sized runs.
+		var recvRuns [][]blockio.BlockID
+		var recvRunLens [][]int
+		var recvTotal int64
+		pendingRecv := make([]T, 0)
+		flushRecv := func() {
+			if len(pendingRecv) == 0 {
+				return
+			}
+			psort.Sort(c, pendingRecv, cfg.RealWorkers)
+			n.Clock.AddCPU(cfg.Model.SortCPU(int64(len(pendingRecv))))
+			var ids []blockio.BlockID
+			var lens []int
+			for off := 0; off < len(pendingRecv); off += bElem {
+				hi := off + bElem
+				if hi > len(pendingRecv) {
+					hi = len(pendingRecv)
+				}
+				id := n.Vol.Alloc()
+				n.Vol.WriteAsync(id, elem.EncodeSlice(c, pendingRecv[off:hi]))
+				ids = append(ids, id)
+				lens = append(lens, hi-off)
+			}
+			recvRuns = append(recvRuns, ids)
+			recvRunLens = append(recvRunLens, lens)
+			pendingRecv = pendingRecv[:0]
+		}
+
+		chunkBlocks := 1
+		if cfg.MemElems > 0 {
+			if cb := int(cfg.MemElems / 4 / int64(bElem)); cb > chunkBlocks {
+				chunkBlocks = cb
+			}
+		} else {
+			chunkBlocks = 64
+		}
+		runCap := int64(chunkBlocks * bElem)
+		rounds := (len(blocks) + chunkBlocks - 1) / chunkBlocks
+		globalRounds := int(n.AllReduceInt64(int64(rounds), "max"))
+		for round := 0; round < globalRounds; round++ {
+			send := make([][]byte, cfg.P)
+			lo := round * chunkBlocks
+			if lo < len(blocks) {
+				hi := lo + chunkBlocks
+				if hi > len(blocks) {
+					hi = len(blocks)
+				}
+				for b := lo; b < hi; b++ {
+					n.Vol.ReadWait(blocks[b], raw[:blockLens[b]*sz])
+					for j := 0; j < blockLens[b]; j++ {
+						v := c.Decode(raw[j*sz:])
+						q := dest(v)
+						send[q] = elem.AppendEncode(c, send[q], []T{v})
+					}
+					n.Vol.Free(blocks[b])
+					n.Clock.AddCPU(cfg.Model.ScanCPU(int64(blockLens[b])) * 2)
+				}
+			}
+			recv := n.AllToAllv(send)
+			for q := 0; q < cfg.P; q++ {
+				cnt := len(recv[q]) / sz
+				pendingRecv = elem.AppendDecode(c, pendingRecv, recv[q], cnt)
+				recvTotal += int64(cnt)
+				if int64(len(pendingRecv)) >= runCap {
+					flushRecv()
+				}
+			}
+		}
+		flushRecv()
+		n.Vol.Drain()
+		n.Barrier()
+
+		// Phase 3: local external merge of the received runs.
+		n.Clock.SetPhase(PhaseLocalSort)
+		out, err := mergeRuns(c, n, cfg, recvRuns, recvRunLens, bElem)
+		if err != nil {
+			return err
+		}
+		n.Vol.Drain()
+		n.Barrier()
+
+		n.Clock.SetPhase("collect")
+		res.PartSizes[n.Rank] = recvTotal
+		if cfg.KeepOutput {
+			res.Output[n.Rank] = out
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for rank, node := range m.Nodes() {
+		_, stats := node.Clock.Stats()
+		res.PerPE[rank] = stats
+		res.N += res.PartSizes[rank]
+	}
+	return res, nil
+}
+
+// mergeRuns k-way merges sorted on-disk runs, reading and writing each
+// element once, and returns the decoded output when KeepOutput.
+func mergeRuns[T any](c elem.Codec[T], n *cluster.Node, cfg Config, runs [][]blockio.BlockID, runLens [][]int, bElem int) ([]T, error) {
+	sz := c.Size()
+	type stream struct {
+		ids  []blockio.BlockID
+		lens []int
+		cur  []T
+		pos  int
+		next int
+	}
+	var out []T
+	fill := func(s *stream) bool {
+		if s.next >= len(s.ids) {
+			return false
+		}
+		raw := make([]byte, s.lens[s.next]*sz)
+		n.Vol.ReadWait(s.ids[s.next], raw)
+		s.cur = elem.DecodeSlice(c, raw, s.lens[s.next])
+		n.Vol.Free(s.ids[s.next])
+		s.pos = 0
+		s.next++
+		return true
+	}
+	streams := make([]*stream, len(runs))
+	heads := make([]T, len(runs))
+	live := make([]bool, len(runs))
+	for i := range runs {
+		streams[i] = &stream{ids: runs[i], lens: runLens[i]}
+		if fill(streams[i]) {
+			heads[i] = streams[i].cur[0]
+			streams[i].pos = 1
+			live[i] = true
+		}
+	}
+	if len(runs) == 0 {
+		return out, nil
+	}
+	lt := pq.NewLoserTree(len(runs), heads, live, c.Less)
+	outBuf := make([]T, 0, bElem)
+	var produced int64
+	flush := func() {
+		if len(outBuf) == 0 {
+			return
+		}
+		id := n.Vol.Alloc()
+		n.Vol.WriteAsync(id, elem.EncodeSlice(c, outBuf))
+		if cfg.KeepOutput {
+			out = append(out, outBuf...)
+		}
+		outBuf = outBuf[:0]
+	}
+	for !lt.Empty() {
+		v, i := lt.Min()
+		outBuf = append(outBuf, v)
+		produced++
+		if len(outBuf) == bElem {
+			flush()
+			n.Clock.AddCPU(cfg.Model.MergeCPU(int64(bElem), len(runs)) + cfg.Model.ScanCPU(int64(bElem)))
+		}
+		s := streams[i]
+		if s.pos >= len(s.cur) && !fill(s) {
+			lt.Retire()
+			continue
+		}
+		lt.Replace(s.cur[s.pos])
+		s.pos++
+	}
+	flush()
+	_ = produced
+	return out, nil
+}
+
+// ExternalMergeSortSeq sorts one PE's data with the classic two-pass
+// external mergesort (run formation + k-way merge) and returns the
+// modelled stats; it reuses the cluster machinery with P = 1.
+func ExternalMergeSortSeq[T any](c elem.Codec[T], cfg Config, input []T) (*Result[T], error) {
+	cfg.P = 1
+	return SampleSort(c, cfg, [][]T{input}) // with P=1 the distribute pass degenerates to run formation
+}

@@ -1,0 +1,125 @@
+package baseline
+
+import (
+	"testing"
+
+	"demsort/internal/elem"
+	"demsort/internal/vtime"
+	"demsort/internal/workload"
+)
+
+var kvc = elem.KV16Codec{}
+
+func testConfig(p int) Config {
+	cfg := DefaultConfig(p, 1<<13, 64*16)
+	cfg.Model = vtime.Default()
+	cfg.KeepOutput = true
+	return cfg
+}
+
+func checkSorted(t *testing.T, res *Result[elem.KV16], input [][]elem.KV16) {
+	t.Helper()
+	var all []elem.KV16
+	for _, part := range input {
+		all = append(all, part...)
+	}
+	var flat []elem.KV16
+	for _, part := range res.Output {
+		if !elem.IsSorted[elem.KV16](kvc, part) {
+			t.Fatal("a PE's output is not sorted")
+		}
+		flat = append(flat, part...)
+	}
+	if !elem.IsSorted[elem.KV16](kvc, flat) {
+		t.Fatal("concatenated output not globally sorted")
+	}
+	if workload.Checksum(all) != workload.Checksum(flat) {
+		t.Fatal("output is not a permutation of the input")
+	}
+}
+
+func TestSampleSortUniform(t *testing.T) {
+	for _, p := range []int{1, 2, 4, 8} {
+		cfg := testConfig(p)
+		input := workload.Generate(workload.Uniform, p, 4000, 3)
+		res, err := SampleSort[elem.KV16](kvc, cfg, input)
+		if err != nil {
+			t.Fatal(err)
+		}
+		checkSorted(t, res, input)
+		if p > 1 && res.Imbalance() > 2.5 {
+			t.Errorf("p=%d: imbalance %.2f on uniform input", p, res.Imbalance())
+		}
+	}
+}
+
+func TestSampleSortSkewCollapses(t *testing.T) {
+	// The paper's §II critique: "In the worst case, it deteriorates to
+	// a sequential algorithm since all the data ends up in a single
+	// processor." With 90% of elements sharing one key, every hot
+	// element routes to the same PE — splitters cannot cut inside a
+	// key class.
+	cfg := testConfig(8)
+	input := workload.Generate(workload.HotKey, 8, 3000, 5)
+	res, err := SampleSort[elem.KV16](kvc, cfg, input)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkSorted(t, res, input)
+	if res.Imbalance() < 4.0 {
+		t.Errorf("expected severe imbalance on hot-key input, got %.2f", res.Imbalance())
+	}
+}
+
+func TestSampleSortAllEqual(t *testing.T) {
+	// Degenerate ties: correctness must hold even though balance
+	// cannot (all keys equal → one destination).
+	cfg := testConfig(4)
+	input := workload.Generate(workload.AllEqual, 4, 1000, 7)
+	res, err := SampleSort[elem.KV16](kvc, cfg, input)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkSorted(t, res, input)
+}
+
+func TestSampleSortEmpty(t *testing.T) {
+	cfg := testConfig(3)
+	res, err := SampleSort[elem.KV16](kvc, cfg, [][]elem.KV16{{}, {}, {}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.N != 0 {
+		t.Fatalf("N=%d", res.N)
+	}
+}
+
+func TestExternalMergeSortSeq(t *testing.T) {
+	cfg := testConfig(1)
+	input := workload.Generate(workload.Uniform, 1, 9000, 9)
+	res, err := ExternalMergeSortSeq[elem.KV16](kvc, cfg, input[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkSorted(t, res, input)
+}
+
+func TestSampleSortImbalanceInflatesTime(t *testing.T) {
+	// The overloaded PE dominates the modelled running time: hot-key
+	// input must be substantially slower than uniform input of the
+	// same size (the collapse the paper's §II describes).
+	p := 8
+	uni := workload.Generate(workload.Uniform, p, 3000, 11)
+	hot := workload.Generate(workload.HotKey, p, 3000, 11)
+	ures, err := SampleSort[elem.KV16](kvc, testConfig(p), uni)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hres, err := SampleSort[elem.KV16](kvc, testConfig(p), hot)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !(hres.TotalWall() > 1.5*ures.TotalWall()) {
+		t.Errorf("hot-key %.4fs vs uniform %.4fs — expected skew collapse", hres.TotalWall(), ures.TotalWall())
+	}
+}

@@ -1,0 +1,260 @@
+// Package blockio provides the external-memory substrate: fixed-size
+// block stores (RAM-backed and file-backed) and per-PE Volumes that
+// stripe blocks over a node's disk array, track every byte of traffic,
+// support asynchronous reads/writes against the virtual-time model,
+// and recycle freed blocks so sorting can run (nearly) in place on
+// disk, as in §IV-E of the paper.
+package blockio
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"sync"
+
+	"demsort/internal/vtime"
+)
+
+// BlockID names one block within a Volume.
+type BlockID int64
+
+// Store is raw block storage addressed by BlockID. Implementations
+// must copy data on write (callers reuse buffers).
+type Store interface {
+	// ReadAt fills dst with the first len(dst) bytes of block id.
+	ReadAt(id BlockID, dst []byte) error
+	// WriteAt stores src as the content of block id.
+	WriteAt(id BlockID, src []byte) error
+	// Close releases resources.
+	Close() error
+}
+
+// MemStore is a RAM-backed Store used by tests, benchmarks and the
+// figure harness (the simulated cluster's "disks").
+type MemStore struct {
+	mu     sync.RWMutex
+	blocks map[BlockID][]byte
+}
+
+// NewMemStore returns an empty in-memory store.
+func NewMemStore() *MemStore {
+	return &MemStore{blocks: map[BlockID][]byte{}}
+}
+
+// ReadAt implements Store.
+func (s *MemStore) ReadAt(id BlockID, dst []byte) error {
+	s.mu.RLock()
+	b, ok := s.blocks[id]
+	s.mu.RUnlock()
+	if !ok {
+		return fmt.Errorf("blockio: read of unwritten block %d", id)
+	}
+	if len(dst) > len(b) {
+		return fmt.Errorf("blockio: block %d holds %d bytes, want %d", id, len(b), len(dst))
+	}
+	copy(dst, b)
+	return nil
+}
+
+// WriteAt implements Store.
+func (s *MemStore) WriteAt(id BlockID, src []byte) error {
+	b := make([]byte, len(src))
+	copy(b, src)
+	s.mu.Lock()
+	s.blocks[id] = b
+	s.mu.Unlock()
+	return nil
+}
+
+// Close implements Store.
+func (s *MemStore) Close() error {
+	s.mu.Lock()
+	s.blocks = nil
+	s.mu.Unlock()
+	return nil
+}
+
+// FileStore is a file-backed Store: block id lives at offset
+// id·blockBytes of a single file. It exists so integration tests and
+// the CLI can sort data that genuinely does not fit in memory.
+type FileStore struct {
+	f          *os.File
+	blockBytes int
+	lens       map[BlockID]int // actual stored length per block
+	mu         sync.Mutex
+}
+
+// NewFileStore creates (truncating) a file-backed store at path with
+// the given block capacity in bytes.
+func NewFileStore(path string, blockBytes int) (*FileStore, error) {
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("blockio: %w", err)
+	}
+	return &FileStore{f: f, blockBytes: blockBytes, lens: map[BlockID]int{}}, nil
+}
+
+// ReadAt implements Store.
+func (s *FileStore) ReadAt(id BlockID, dst []byte) error {
+	s.mu.Lock()
+	n, ok := s.lens[id]
+	s.mu.Unlock()
+	if !ok {
+		return fmt.Errorf("blockio: read of unwritten block %d", id)
+	}
+	if len(dst) > n {
+		return fmt.Errorf("blockio: block %d holds %d bytes, want %d", id, n, len(dst))
+	}
+	if _, err := s.f.ReadAt(dst, int64(id)*int64(s.blockBytes)); err != nil && err != io.EOF {
+		return fmt.Errorf("blockio: %w", err)
+	}
+	return nil
+}
+
+// WriteAt implements Store.
+func (s *FileStore) WriteAt(id BlockID, src []byte) error {
+	if len(src) > s.blockBytes {
+		return fmt.Errorf("blockio: write of %d bytes into %d-byte blocks", len(src), s.blockBytes)
+	}
+	if _, err := s.f.WriteAt(src, int64(id)*int64(s.blockBytes)); err != nil {
+		return fmt.Errorf("blockio: %w", err)
+	}
+	s.mu.Lock()
+	s.lens[id] = len(src)
+	s.mu.Unlock()
+	return nil
+}
+
+// Close implements Store.
+func (s *FileStore) Close() error {
+	name := s.f.Name()
+	if err := s.f.Close(); err != nil {
+		return err
+	}
+	return os.Remove(name)
+}
+
+// Handle is the virtual completion time of an asynchronous I/O.
+type Handle float64
+
+// Volume is one PE's view of its disk array: block allocation with a
+// free list (in-place operation), asynchronous reads/writes accounted
+// against the PE's clock and disk device, and traffic counters.
+//
+// A Volume is owned by its PE's goroutine. The one exception is
+// ServeRemoteRead, which the owner itself calls while answering probe
+// requests during synchronous selection rounds.
+type Volume struct {
+	store      Store
+	blockBytes int
+	rank       int
+	model      vtime.CostModel
+	clock      *vtime.Clock
+	disk       *vtime.Device
+
+	next     BlockID
+	freeList []BlockID
+	used     int64
+	peakUsed int64
+}
+
+// NewVolume creates a volume of blockBytes-sized blocks on store,
+// accounting against clock with the given model and node rank.
+func NewVolume(store Store, blockBytes, rank int, model vtime.CostModel, clock *vtime.Clock) *Volume {
+	return &Volume{
+		store:      store,
+		blockBytes: blockBytes,
+		rank:       rank,
+		model:      model,
+		clock:      clock,
+		disk:       &vtime.Device{},
+	}
+}
+
+// BlockBytes returns the block size in bytes.
+func (v *Volume) BlockBytes() int { return v.blockBytes }
+
+// Clock returns the owning PE's clock.
+func (v *Volume) Clock() *vtime.Clock { return v.clock }
+
+// Alloc reserves a block, reusing freed ones first (this is what makes
+// the sort in-place: phase outputs recycle the blocks freed by
+// consuming their inputs).
+func (v *Volume) Alloc() BlockID {
+	v.used++
+	if v.used > v.peakUsed {
+		v.peakUsed = v.used
+	}
+	if n := len(v.freeList); n > 0 {
+		id := v.freeList[n-1]
+		v.freeList = v.freeList[:n-1]
+		return id
+	}
+	id := v.next
+	v.next++
+	return id
+}
+
+// Free returns a block to the free list.
+func (v *Volume) Free(id BlockID) {
+	v.used--
+	v.freeList = append(v.freeList, id)
+}
+
+// Used returns the number of live blocks.
+func (v *Volume) Used() int64 { return v.used }
+
+// PeakUsed returns the high-water mark of live blocks, used to verify
+// the paper's in-place bound (input size + R·P′ + P + 1 blocks).
+func (v *Volume) PeakUsed() int64 { return v.peakUsed }
+
+// ResetPeak restarts peak tracking from the current usage.
+func (v *Volume) ResetPeak() { v.peakUsed = v.used }
+
+// WriteAsync stores src as block id immediately (real data) and queues
+// the virtual transfer on the disk device without blocking the clock;
+// Drain (or a later dependent read's Wait) realises the time.
+func (v *Volume) WriteAsync(id BlockID, src []byte) Handle {
+	if err := v.store.WriteAt(id, src); err != nil {
+		panic(err) // simulation substrate failure, not a user error
+	}
+	dur := v.model.DiskDur(v.rank, len(src))
+	done := v.disk.Acquire(v.clock.Now(), dur)
+	st := v.clock.Cur()
+	st.IOTime += dur
+	st.BytesWritten += int64(len(src))
+	st.BlocksWritten++
+	return Handle(done)
+}
+
+// ReadAsync fetches block id into dst immediately (real data) and
+// returns the virtual completion time; call Wait before using the data
+// so the clock reflects the transfer.
+func (v *Volume) ReadAsync(id BlockID, dst []byte) Handle {
+	if err := v.store.ReadAt(id, dst); err != nil {
+		panic(err)
+	}
+	dur := v.model.DiskDur(v.rank, len(dst))
+	done := v.disk.Acquire(v.clock.Now(), dur)
+	st := v.clock.Cur()
+	st.IOTime += dur
+	st.BytesRead += int64(len(dst))
+	st.BlocksRead++
+	return Handle(done)
+}
+
+// Wait advances the PE's clock to the completion of h.
+func (v *Volume) Wait(h Handle) { v.clock.AdvanceTo(float64(h)) }
+
+// ReadWait is ReadAsync immediately followed by Wait.
+func (v *Volume) ReadWait(id BlockID, dst []byte) {
+	v.Wait(v.ReadAsync(id, dst))
+}
+
+// Drain blocks (virtually) until all queued I/O has completed; phases
+// call it before their closing barrier so written data is on disk.
+func (v *Volume) Drain() { v.clock.AdvanceTo(v.disk.BusyUntil()) }
+
+// Store exposes the underlying store (used when relabelling blocks
+// between logical files without I/O).
+func (v *Volume) Store() Store { return v.store }

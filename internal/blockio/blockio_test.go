@@ -1,0 +1,158 @@
+package blockio
+
+import (
+	"bytes"
+	"path/filepath"
+	"testing"
+
+	"demsort/internal/vtime"
+)
+
+func testModel() vtime.CostModel {
+	m := vtime.Default()
+	m.DiskJitter = 0
+	return m
+}
+
+func TestMemStoreRoundTrip(t *testing.T) {
+	s := NewMemStore()
+	defer s.Close()
+	data := []byte("hello block")
+	if err := s.WriteAt(3, data); err != nil {
+		t.Fatal(err)
+	}
+	got := make([]byte, len(data))
+	if err := s.ReadAt(3, got); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, data) {
+		t.Fatalf("got %q", got)
+	}
+	// Writes must copy: mutating the source must not change the store.
+	data[0] = 'X'
+	if err := s.ReadAt(3, got); err != nil {
+		t.Fatal(err)
+	}
+	if got[0] != 'h' {
+		t.Fatal("store aliased caller buffer")
+	}
+}
+
+func TestMemStoreReadUnwritten(t *testing.T) {
+	s := NewMemStore()
+	defer s.Close()
+	if err := s.ReadAt(9, make([]byte, 1)); err == nil {
+		t.Fatal("expected error reading unwritten block")
+	}
+}
+
+func TestFileStoreRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "vol.dat")
+	s, err := NewFileStore(path, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	a := bytes.Repeat([]byte{0xAA}, 64)
+	b := bytes.Repeat([]byte{0xBB}, 17) // partial block
+	if err := s.WriteAt(0, a); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.WriteAt(5, b); err != nil {
+		t.Fatal(err)
+	}
+	gotA := make([]byte, 64)
+	if err := s.ReadAt(0, gotA); err != nil {
+		t.Fatal(err)
+	}
+	gotB := make([]byte, 17)
+	if err := s.ReadAt(5, gotB); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(gotA, a) || !bytes.Equal(gotB, b) {
+		t.Fatal("file store roundtrip mismatch")
+	}
+	if err := s.WriteAt(1, make([]byte, 65)); err == nil {
+		t.Fatal("oversized write must fail")
+	}
+}
+
+func newTestVolume() *Volume {
+	clock := vtime.NewClock()
+	return NewVolume(NewMemStore(), 1024, 0, testModel(), clock)
+}
+
+func TestVolumeAllocFreeReuse(t *testing.T) {
+	v := newTestVolume()
+	a := v.Alloc()
+	b := v.Alloc()
+	if a == b {
+		t.Fatal("distinct allocations must differ")
+	}
+	if v.Used() != 2 {
+		t.Fatalf("used %d", v.Used())
+	}
+	v.Free(a)
+	c := v.Alloc()
+	if c != a {
+		t.Fatalf("freed block should be reused: got %d want %d", c, a)
+	}
+	if v.PeakUsed() != 2 {
+		t.Fatalf("peak %d", v.PeakUsed())
+	}
+}
+
+func TestVolumeReadWriteCountsAndClock(t *testing.T) {
+	v := newTestVolume()
+	id := v.Alloc()
+	data := bytes.Repeat([]byte{7}, 1024)
+	v.WriteAsync(id, data)
+	if v.Clock().Now() != 0 {
+		t.Fatal("async write must not advance the clock")
+	}
+	got := make([]byte, 1024)
+	h := v.ReadAsync(id, got)
+	v.Wait(h)
+	if v.Clock().Now() <= 0 {
+		t.Fatal("waiting for a read must advance the clock")
+	}
+	if !bytes.Equal(got, data) {
+		t.Fatal("data mismatch")
+	}
+	_, stats := v.Clock().Stats()
+	st := stats["init"]
+	if st.BlocksWritten != 1 || st.BlocksRead != 1 || st.BytesRead != 1024 || st.BytesWritten != 1024 {
+		t.Fatalf("counters %+v", st)
+	}
+	if st.IOTime <= 0 {
+		t.Fatal("io time not accounted")
+	}
+}
+
+func TestVolumeOverlapHidesIO(t *testing.T) {
+	// Issue a read, do CPU work longer than the transfer, then wait:
+	// the clock must show the CPU time only (I/O fully hidden).
+	v := newTestVolume()
+	id := v.Alloc()
+	v.WriteAsync(id, make([]byte, 1024))
+	v.Drain()
+	start := v.Clock().Now()
+	h := v.ReadAsync(id, make([]byte, 1024))
+	dur := float64(h) - start
+	v.Clock().AddCPU(10 * dur)
+	v.Wait(h)
+	if got := v.Clock().Now() - start; got != 10*dur {
+		t.Fatalf("wall %v, want %v (I/O hidden by CPU)", got, 10*dur)
+	}
+}
+
+func TestVolumeDrain(t *testing.T) {
+	v := newTestVolume()
+	id := v.Alloc()
+	v.WriteAsync(id, make([]byte, 1024))
+	v.WriteAsync(id, make([]byte, 1024))
+	v.Drain()
+	if v.Clock().Now() <= 0 {
+		t.Fatal("drain must advance to device idle time")
+	}
+}

@@ -1,0 +1,194 @@
+// Package core implements CANONICALMERGESORT (Section IV of the
+// paper), the primary contribution: a distributed-memory external
+// mergesort whose output is the canonical partition — PE i ends up with
+// the elements of global ranks (i·N/P, (i+1)·N/P] striped over its
+// local disks — while communicating the data only once in the best
+// case and needing 4N + o(N) I/O volume.
+//
+// The four phases, each accounted separately (Figures 2-4, 6):
+//
+//  1. run formation (runform.go): R global runs are formed from
+//     randomly chosen local blocks, sorted with the distributed
+//     internal sort, written to local disks, and sampled;
+//  2. multiway selection (selection.go): exact global splitters for
+//     the ranks i·N/P over all R runs, bootstrapped from the in-memory
+//     sample and finished on a few remotely fetched blocks;
+//  3. external all-to-all (exchange.go): data redistribution in
+//     memory-sized sub-operations, with the self-destined majority
+//     relabelled in place with zero I/O;
+//  4. final merge (mergelocal.go): every PE merges its R local run
+//     pieces with prefetching, entirely without communication.
+package core
+
+import (
+	"fmt"
+
+	"demsort/internal/blockio"
+	"demsort/internal/vtime"
+)
+
+// Phase names used in per-phase statistics and the figures.
+const (
+	PhaseLoad      = "load"
+	PhaseRunForm   = "run formation"
+	PhaseSelection = "multiway selection"
+	PhaseExchange  = "all-to-all"
+	PhaseMerge     = "final merge"
+)
+
+// Phases lists the accounted sort phases in algorithm order.
+func Phases() []string {
+	return []string{PhaseRunForm, PhaseSelection, PhaseExchange, PhaseMerge}
+}
+
+// Config parameterises a sort on the simulated cluster.
+type Config struct {
+	// P is the number of PEs (cluster nodes).
+	P int
+	// BlockBytes is the block size B in bytes (paper default 8 MiB).
+	BlockBytes int
+	// MemElems is the per-PE internal memory budget m in elements.
+	MemElems int64
+	// RunFraction sizes the per-PE share of one run as a fraction of
+	// MemElems. Run formation holds the unsorted chunk, the merged
+	// result and the next run's prefetch at once, so 0.25 is the
+	// default (the paper's footnote 1: runs can be "a factor around
+	// two smaller" than M).
+	RunFraction float64
+	// SampleK is the sampling distance K in elements (0 = one block,
+	// the Appendix B choice K = B).
+	SampleK int64
+	// Randomize enables the random shuffling of local input block IDs
+	// before run formation (§IV: "each PE chooses its participating
+	// blocks for the run randomly"). Figures 4 vs 6 are this switch.
+	Randomize bool
+	// Seed drives all randomization.
+	Seed uint64
+	// Overlap enables asynchronous I/O overlap (§IV-E); switching it
+	// off is the ablation knob.
+	Overlap bool
+	// SingleRunOpt enables the §IV-E special case for inputs that fit
+	// into one run: blocks are sorted as they arrive and merged,
+	// instead of sorted monolithically.
+	SingleRunOpt bool
+	// RealWorkers is the number of goroutines used for genuine
+	// in-node sorting work (virtual CPU time always models
+	// Model.Cores cores).
+	RealWorkers int
+	// KeepOutput retains the sorted output so Result.Output can read
+	// it back (tests); production callers stream it from the volumes.
+	KeepOutput bool
+	// Model is the virtual-time cost model (zero value: vtime.Default).
+	Model vtime.CostModel
+	// NewStore optionally overrides the per-PE block store (e.g.
+	// file-backed); nil uses RAM-backed stores.
+	NewStore func(rank int) (blockio.Store, error)
+}
+
+// DefaultConfig returns a ready-to-use configuration for p PEs with a
+// per-PE memory budget of memElems elements and the given block size.
+func DefaultConfig(p int, memElems int64, blockBytes int) Config {
+	return Config{
+		P:            p,
+		BlockBytes:   blockBytes,
+		MemElems:     memElems,
+		RunFraction:  0.25,
+		Randomize:    true,
+		Seed:         1,
+		Overlap:      true,
+		SingleRunOpt: true,
+		RealWorkers:  1,
+		Model:        vtime.Default(),
+	}
+}
+
+// derived holds the parameters computed from a validated config for a
+// particular element size.
+type derived struct {
+	bElem        int   // B in elements
+	runLocal     int64 // per-PE elements contributed to one run
+	blocksPerRun int
+	sampleK      int64
+}
+
+// derive validates cfg against an element size and computes the
+// derived parameters, enforcing the paper's memory constraints.
+func (cfg *Config) derive(elemSize int) (derived, error) {
+	var d derived
+	if cfg.P < 1 {
+		return d, fmt.Errorf("core: P must be >= 1, got %d", cfg.P)
+	}
+	if cfg.BlockBytes < elemSize {
+		return d, fmt.Errorf("core: block size %d smaller than one element (%d)", cfg.BlockBytes, elemSize)
+	}
+	d.bElem = cfg.BlockBytes / elemSize
+	if cfg.MemElems > 0 && int64(d.bElem)*4 > cfg.MemElems {
+		return d, fmt.Errorf("core: memory budget %d elements cannot hold 4 blocks of %d", cfg.MemElems, d.bElem)
+	}
+	rf := cfg.RunFraction
+	if rf <= 0 || rf > 0.5 {
+		rf = 0.25
+	}
+	if cfg.MemElems > 0 {
+		d.runLocal = int64(float64(cfg.MemElems) * rf)
+	} else {
+		d.runLocal = int64(d.bElem) * 64
+	}
+	d.blocksPerRun = int(d.runLocal / int64(d.bElem))
+	if d.blocksPerRun < 1 {
+		d.blocksPerRun = 1
+	}
+	d.runLocal = int64(d.blocksPerRun) * int64(d.bElem)
+	d.sampleK = cfg.SampleK
+	if d.sampleK <= 0 {
+		d.sampleK = int64(d.bElem)
+	}
+	return d, nil
+}
+
+// CheckCapacity verifies that nPerPE elements per PE can be sorted in
+// two passes under cfg: the final merge needs two prefetch buffers and
+// an output buffer per run within the memory budget, and the sample
+// must fit in memory. This is the practical form of the paper's
+// O(P·m²/B) capacity bound (§IV-D).
+func (cfg *Config) CheckCapacity(elemSize int, nPerPE int64) error {
+	d, err := cfg.derive(elemSize)
+	if err != nil {
+		return err
+	}
+	if cfg.MemElems <= 0 {
+		return nil
+	}
+	runs := (nPerPE + d.runLocal - 1) / d.runLocal
+	if runs < 1 {
+		runs = 1
+	}
+	// Merge memory: 2 input blocks per run (double buffering) plus an
+	// output block, within half the budget.
+	if need := (2*runs + 1) * int64(d.bElem); need > cfg.MemElems/2 {
+		return fmt.Errorf("core: %d runs of %d-element blocks need %d elements of merge buffers, budget allows %d — input too large for two passes (capacity %d elements/PE)",
+			runs, d.bElem, need, cfg.MemElems/2, cfg.MaxElemsPerPE(elemSize))
+	}
+	// Sample memory: N/K elements on every PE, within an eighth.
+	sample := runs * ((d.runLocal*int64(cfg.P) + d.sampleK - 1) / d.sampleK)
+	if sample > cfg.MemElems/8 {
+		return fmt.Errorf("core: sample of %d elements exceeds budget share %d; increase SampleK", sample, cfg.MemElems/8)
+	}
+	return nil
+}
+
+// MaxElemsPerPE returns the largest two-pass-sortable input per PE
+// under cfg: the merge-buffer constraint caps the number of runs at
+// m/(4B)-ish, each contributing RunFraction·m elements. Multiplying by
+// P gives the machine capacity Θ(P·m²/B) from §IV-D.
+func (cfg *Config) MaxElemsPerPE(elemSize int) int64 {
+	d, err := cfg.derive(elemSize)
+	if err != nil || cfg.MemElems <= 0 {
+		return 0
+	}
+	maxRuns := (cfg.MemElems/2 - int64(d.bElem)) / (2 * int64(d.bElem))
+	if maxRuns < 1 {
+		return 0
+	}
+	return maxRuns * d.runLocal
+}

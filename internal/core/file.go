@@ -1,0 +1,253 @@
+package core
+
+import (
+	"demsort/internal/blockio"
+	"demsort/internal/elem"
+)
+
+// Extent is a contiguous range of elements inside one disk block:
+// elements [Off, Off+Len) of block ID. Own marks whether the file is
+// the block's unique owner (and may free it after consumption); the
+// all-to-all relabels kept data into output files by trimming extents,
+// and a block whose other part was sent away is not freeable.
+type Extent struct {
+	ID  blockio.BlockID
+	Off int
+	Len int
+	Own bool
+}
+
+// File is an ordered sequence of elements stored as extents on one
+// PE's volume. Freshly written files have block-aligned extents; the
+// in-place all-to-all introduces trimmed ones.
+type File struct {
+	Extents []Extent
+	N       int64
+}
+
+// Append adds an extent, merging the element count.
+func (f *File) Append(e Extent) {
+	if e.Len == 0 {
+		return
+	}
+	f.Extents = append(f.Extents, e)
+	f.N += int64(e.Len)
+}
+
+// FreeOwned returns every owned block of f to the volume's free list.
+func (f *File) FreeOwned(vol *blockio.Volume) {
+	for _, e := range f.Extents {
+		if e.Own {
+			vol.Free(e.ID)
+		}
+	}
+	f.Extents = nil
+	f.N = 0
+}
+
+// writer buffers elements and writes full blocks asynchronously,
+// producing an aligned File. The partial tail buffer can be flushed
+// (creating a partial block) and refilled later — that flush/reload
+// pair is exactly the "partially filled blocks" overhead of the
+// external all-to-all (§IV-E).
+type writer[T any] struct {
+	c     elem.Codec[T]
+	vol   *blockio.Volume
+	bElem int
+	buf   []T
+	file  File
+	enc   []byte
+}
+
+func newWriter[T any](c elem.Codec[T], vol *blockio.Volume) *writer[T] {
+	bElem := vol.BlockBytes() / c.Size()
+	return &writer[T]{
+		c:     c,
+		vol:   vol,
+		bElem: bElem,
+		buf:   make([]T, 0, bElem),
+		enc:   make([]byte, 0, vol.BlockBytes()),
+	}
+}
+
+// add appends one element, writing a block when full.
+func (w *writer[T]) add(v T) {
+	w.buf = append(w.buf, v)
+	if len(w.buf) == w.bElem {
+		w.flushFull()
+	}
+}
+
+// addSlice appends many elements.
+func (w *writer[T]) addSlice(vs []T) {
+	for len(vs) > 0 {
+		space := w.bElem - len(w.buf)
+		take := len(vs)
+		if take > space {
+			take = space
+		}
+		w.buf = append(w.buf, vs[:take]...)
+		vs = vs[take:]
+		if len(w.buf) == w.bElem {
+			w.flushFull()
+		}
+	}
+}
+
+func (w *writer[T]) flushFull() {
+	id := w.vol.Alloc()
+	w.enc = elem.AppendEncode(w.c, w.enc[:0], w.buf)
+	w.vol.WriteAsync(id, w.enc)
+	w.file.Append(Extent{ID: id, Off: 0, Len: len(w.buf), Own: true})
+	w.buf = w.buf[:0]
+}
+
+// finish flushes any partial tail and returns the file.
+func (w *writer[T]) finish() File {
+	if len(w.buf) > 0 {
+		id := w.vol.Alloc()
+		w.enc = elem.AppendEncode(w.c, w.enc[:0], w.buf)
+		w.vol.WriteAsync(id, w.enc)
+		w.file.Append(Extent{ID: id, Off: 0, Len: len(w.buf), Own: true})
+		w.buf = w.buf[:0]
+	}
+	f := w.file
+	w.file = File{}
+	return f
+}
+
+// suspend writes the partial tail out as a partial block (counted I/O)
+// so the writer holds no element state between all-to-all
+// sub-operations; resume reads it back. Both are no-ops for an empty
+// or block-aligned tail.
+func (w *writer[T]) suspend() {
+	if len(w.buf) == 0 {
+		return
+	}
+	id := w.vol.Alloc()
+	w.enc = elem.AppendEncode(w.c, w.enc[:0], w.buf)
+	w.vol.WriteAsync(id, w.enc)
+	w.file.Append(Extent{ID: id, Off: 0, Len: len(w.buf), Own: true})
+	w.buf = w.buf[:0]
+}
+
+// resume reloads a trailing partial block into the tail buffer so
+// appending continues seamlessly.
+func (w *writer[T]) resume() {
+	n := len(w.file.Extents)
+	if n == 0 {
+		return
+	}
+	last := w.file.Extents[n-1]
+	if last.Len == w.bElem || !last.Own || last.Off != 0 {
+		return
+	}
+	raw := make([]byte, last.Len*w.c.Size())
+	w.vol.ReadWait(last.ID, raw)
+	w.buf = elem.AppendDecode(w.c, w.buf[:0], raw, last.Len)
+	w.vol.Free(last.ID)
+	w.file.Extents = w.file.Extents[:n-1]
+	w.file.N -= int64(last.Len)
+}
+
+// reader streams a File's elements with double-buffered asynchronous
+// prefetching: while one extent is being consumed the next is already
+// in flight, the element-level analogue of the paper's prefetch
+// buffers. When free is true, owned blocks are returned to the volume
+// as soon as they are fully consumed (in-place operation).
+type reader[T any] struct {
+	c    elem.Codec[T]
+	vol  *blockio.Volume
+	file File
+	free bool
+
+	idx  int // next extent to hand out
+	cur  []T
+	pos  int
+	curE Extent
+
+	nextRaw []byte
+	nextH   blockio.Handle
+	nextOK  bool
+	nextE   Extent
+	overlap bool
+}
+
+func newReader[T any](c elem.Codec[T], vol *blockio.Volume, f File, free, overlap bool) *reader[T] {
+	r := &reader[T]{c: c, vol: vol, file: f, free: free, overlap: overlap}
+	r.prefetch()
+	r.advance()
+	return r
+}
+
+// prefetch issues the read of the next extent.
+func (r *reader[T]) prefetch() {
+	r.nextOK = false
+	if r.idx >= len(r.file.Extents) {
+		return
+	}
+	e := r.file.Extents[r.idx]
+	r.idx++
+	need := (e.Off + e.Len) * r.c.Size()
+	if cap(r.nextRaw) < need {
+		r.nextRaw = make([]byte, need)
+	}
+	r.nextRaw = r.nextRaw[:need]
+	h := r.vol.ReadAsync(e.ID, r.nextRaw)
+	if !r.overlap {
+		r.vol.Wait(h)
+	}
+	r.nextH = h
+	r.nextE = e
+	r.nextOK = true
+}
+
+// advance makes the prefetched extent current and prefetches another.
+func (r *reader[T]) advance() {
+	if r.free && r.curE.Own && r.curE.Len > 0 {
+		r.vol.Free(r.curE.ID)
+	}
+	if !r.nextOK {
+		r.cur = nil
+		r.curE = Extent{}
+		return
+	}
+	r.vol.Wait(r.nextH)
+	e := r.nextE
+	raw := r.nextRaw[e.Off*r.c.Size():]
+	r.cur = elem.AppendDecode(r.c, r.cur[:0], raw, e.Len)
+	r.pos = 0
+	r.curE = e
+	// Swap buffers so the next prefetch does not overwrite cur...
+	// cur was decoded already, so the raw buffer is reusable.
+	r.prefetch()
+}
+
+// next returns the next element; ok=false at end of file.
+func (r *reader[T]) next() (T, bool) {
+	for r.pos >= len(r.cur) {
+		if r.cur == nil {
+			var zero T
+			return zero, false
+		}
+		r.advance()
+	}
+	v := r.cur[r.pos]
+	r.pos++
+	return v, true
+}
+
+// readAll decodes a whole file into memory (tests and small metadata).
+func readAll[T any](c elem.Codec[T], vol *blockio.Volume, f File) []T {
+	out := make([]T, 0, f.N)
+	raw := make([]byte, vol.BlockBytes())
+	for _, e := range f.Extents {
+		need := (e.Off + e.Len) * c.Size()
+		if cap(raw) < need {
+			raw = make([]byte, need)
+		}
+		vol.ReadWait(e.ID, raw[:need])
+		out = elem.AppendDecode(c, out, raw[e.Off*c.Size():], e.Len)
+	}
+	return out
+}

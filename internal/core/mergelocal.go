@@ -1,0 +1,67 @@
+package core
+
+import (
+	"demsort/internal/cluster"
+	"demsort/internal/elem"
+	"demsort/internal/pq"
+)
+
+// mergeLocal is phase 3 (§IV third phase): every PE merges its R
+// sorted run pieces into the final output file, reading and writing
+// each element exactly once with no communication. Input blocks are
+// prefetched one extent ahead per run (overlapping I/O with merging)
+// and deallocated as soon as they are consumed, so the output can
+// recycle them — the (nearly) in-place operation of §IV-E.
+//
+// With a single run the piece already is the sorted output and the
+// phase costs no I/O at all; together with run formation that gives
+// the "only 2 I/Os per block" behaviour the paper notes for N < M
+// (the MinuteSort regime).
+func mergeLocal[T any](c elem.Codec[T], n *cluster.Node, cfg *Config, d derived, files []File) (File, error) {
+	n.Clock.SetPhase(PhaseMerge)
+	if len(files) == 1 {
+		n.Barrier()
+		return files[0], nil
+	}
+
+	r := len(files)
+	// 2 blocks per run (current + prefetch) plus the output buffer.
+	if cfg.MemElems > 0 {
+		n.Mem.MustAcquire(int64(2*r+1) * int64(d.bElem))
+		defer n.Mem.Release(int64(2*r+1) * int64(d.bElem))
+	}
+
+	readers := make([]*reader[T], r)
+	heads := make([]T, r)
+	live := make([]bool, r)
+	for i, f := range files {
+		readers[i] = newReader(c, n.Vol, f, true, cfg.Overlap)
+		if v, ok := readers[i].next(); ok {
+			heads[i], live[i] = v, true
+		}
+	}
+	lt := pq.NewLoserTree(r, heads, live, c.Less)
+	w := newWriter(c, n.Vol)
+	var sinceCPU int64
+	for !lt.Empty() {
+		v, i := lt.Min()
+		w.add(v)
+		sinceCPU++
+		if sinceCPU == int64(d.bElem) {
+			n.Clock.AddCPU(cfg.Model.MergeCPU(sinceCPU, r) + cfg.Model.ScanCPU(sinceCPU))
+			sinceCPU = 0
+		}
+		if nv, ok := readers[i].next(); ok {
+			lt.Replace(nv)
+		} else {
+			lt.Retire()
+		}
+	}
+	if sinceCPU > 0 {
+		n.Clock.AddCPU(cfg.Model.MergeCPU(sinceCPU, r) + cfg.Model.ScanCPU(sinceCPU))
+	}
+	out := w.finish()
+	n.Vol.Drain()
+	n.Barrier()
+	return out, nil
+}

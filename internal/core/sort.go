@@ -1,0 +1,219 @@
+package core
+
+import (
+	"fmt"
+
+	"demsort/internal/cluster"
+	"demsort/internal/elem"
+	"demsort/internal/vtime"
+)
+
+// Result reports a completed sort: per-PE per-phase resource usage
+// (the raw material of every figure), derived global metrics, and —
+// when requested — the sorted output.
+type Result[T any] struct {
+	// P is the machine size, N the total element count.
+	P int
+	N int64
+	// ElemSize is the element size in bytes; BlockElems the block
+	// size B in elements; Runs the number of global runs R.
+	ElemSize   int
+	BlockElems int
+	Runs       int
+	// SubOps is the number k of external all-to-all sub-operations.
+	SubOps int
+	// PhaseNames lists the accounted phases in order.
+	PhaseNames []string
+	// PerPE[rank][phase] is the measured per-phase resource usage.
+	PerPE []map[string]*vtime.PhaseStats
+	// Output[rank] is the sorted data of PE rank (only with
+	// Config.KeepOutput).
+	Output [][]T
+	// OutputLens[rank] is the element count per PE (always set).
+	OutputLens []int64
+	// PeakMemElems and PeakDiskBlocks are per-PE high-water marks.
+	PeakMemElems   []int64
+	PeakDiskBlocks []int64
+}
+
+// MaxWall returns the slowest PE's wall time for one phase — the
+// quantity plotted in Figures 2, 4 and 6 (a phase ends at a barrier,
+// so the machine moves at the pace of its slowest PE).
+func (r *Result[T]) MaxWall(phase string) float64 {
+	var w float64
+	for _, st := range r.PerPE {
+		if s, ok := st[phase]; ok && s.Wall > w {
+			w = s.Wall
+		}
+	}
+	return w
+}
+
+// TotalWall returns the sum of the per-phase maxima — the modelled
+// running time of the sort.
+func (r *Result[T]) TotalWall() float64 {
+	var t float64
+	for _, ph := range r.PhaseNames {
+		t += r.MaxWall(ph)
+	}
+	return t
+}
+
+// PhaseBytes returns machine-wide (read, written) disk bytes in a
+// phase; PhaseBytes(PhaseExchange) over N·ElemSize is Figure 5's
+// y-axis.
+func (r *Result[T]) PhaseBytes(phase string) (read, written int64) {
+	for _, st := range r.PerPE {
+		if s, ok := st[phase]; ok {
+			read += s.BytesRead
+			written += s.BytesWritten
+		}
+	}
+	return read, written
+}
+
+// NetBytes returns machine-wide bytes sent over the network in a
+// phase (self-messages excluded): the communication-volume metric of
+// the paper's "communicate the data only once" claim.
+func (r *Result[T]) NetBytes(phase string) int64 {
+	var b int64
+	for _, st := range r.PerPE {
+		if s, ok := st[phase]; ok {
+			b += s.BytesSent
+		}
+	}
+	return b
+}
+
+// Sort runs CANONICALMERGESORT on the simulated cluster: input[i] is
+// loaded onto PE i's local disks, and afterwards PE i holds the
+// elements of global ranks (i·N/P, (i+1)·N/P] sorted on its local
+// disks. The returned Result carries the per-phase measurements.
+func Sort[T any](c elem.Codec[T], cfg Config, input [][]T) (*Result[T], error) {
+	d, err := cfg.derive(c.Size())
+	if err != nil {
+		return nil, err
+	}
+	if len(input) != cfg.P {
+		return nil, fmt.Errorf("core: input has %d PE slices, machine has %d PEs", len(input), cfg.P)
+	}
+	if cfg.RealWorkers <= 0 {
+		cfg.RealWorkers = 1
+	}
+	if cfg.Model == (vtime.CostModel{}) {
+		cfg.Model = vtime.Default()
+	}
+	var nPerPE int64
+	for _, part := range input {
+		if int64(len(part)) > nPerPE {
+			nPerPE = int64(len(part))
+		}
+	}
+	if cfg.SampleK == 0 && cfg.MemElems > 0 {
+		// Auto-size the sampling distance so the in-memory sample
+		// (N/K elements on every PE) fits its budget share: K = B
+		// when possible, coarser for large machines (the footnote-12
+		// pressure).
+		runs := (nPerPE + d.runLocal - 1) / d.runLocal
+		if runs < 1 {
+			runs = 1
+		}
+		k := int64(d.bElem)
+		sample := func(k int64) int64 {
+			return runs * ((d.runLocal*int64(cfg.P) + k - 1) / k)
+		}
+		for sample(k) > cfg.MemElems/8 {
+			k = k*5/4 + 1
+		}
+		cfg.SampleK = k
+		d.sampleK = k
+	}
+	if err := cfg.CheckCapacity(c.Size(), nPerPE); err != nil {
+		return nil, err
+	}
+
+	m, err := cluster.New(cluster.Config{
+		P:          cfg.P,
+		BlockBytes: cfg.BlockBytes,
+		MemElems:   cfg.MemElems,
+		Model:      cfg.Model,
+		NewStore:   cfg.NewStore,
+	})
+	if err != nil {
+		return nil, err
+	}
+	defer m.Close()
+
+	res := &Result[T]{
+		P:          cfg.P,
+		ElemSize:   c.Size(),
+		BlockElems: d.bElem,
+		PhaseNames: Phases(),
+		PerPE:      make([]map[string]*vtime.PhaseStats, cfg.P),
+		OutputLens: make([]int64, cfg.P),
+	}
+	if cfg.KeepOutput {
+		res.Output = make([][]T, cfg.P)
+	}
+	res.PeakMemElems = make([]int64, cfg.P)
+	res.PeakDiskBlocks = make([]int64, cfg.P)
+	runsSeen := make([]int, cfg.P)
+	subOps := make([]int, cfg.P)
+
+	err = m.Run(func(n *cluster.Node) error {
+		// Load the input onto the local disks (outside the measured
+		// sort: the paper's inputs pre-exist on disk).
+		n.Clock.SetPhase(PhaseLoad)
+		lw := newWriter(c, n.Vol)
+		lw.addSlice(input[n.Rank])
+		in := lw.finish()
+		n.Vol.Drain()
+		n.Barrier()
+		n.Vol.ResetPeak()
+
+		locals, err := runFormation(c, n, &cfg, d, in)
+		if err != nil {
+			return err
+		}
+		runsSeen[n.Rank] = len(locals)
+
+		meta := gatherRunsMeta(c, n, d, locals)
+		split, err := multiwaySelection(c, n, &cfg, d, meta, locals)
+		if err != nil {
+			return err
+		}
+
+		pieces, k, err := exchange(c, n, &cfg, d, meta, locals, split)
+		if err != nil {
+			return err
+		}
+		subOps[n.Rank] = k
+
+		out, err := mergeLocal(c, n, &cfg, d, pieces)
+		if err != nil {
+			return err
+		}
+
+		// Post-sort bookkeeping, outside the measured phases.
+		n.Clock.SetPhase("collect")
+		res.OutputLens[n.Rank] = out.N
+		if cfg.KeepOutput {
+			res.Output[n.Rank] = readAll(c, n.Vol, out)
+		}
+		res.PeakMemElems[n.Rank] = n.Mem.Peak()
+		res.PeakDiskBlocks[n.Rank] = n.Vol.PeakUsed()
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	for rank, node := range m.Nodes() {
+		_, stats := node.Clock.Stats()
+		res.PerPE[rank] = stats
+		res.N += res.OutputLens[rank]
+	}
+	res.Runs = runsSeen[0]
+	res.SubOps = subOps[0]
+	return res, nil
+}

@@ -1,0 +1,207 @@
+package dselect
+
+import (
+	"math/rand/v2"
+	"slices"
+	"testing"
+
+	"demsort/internal/cluster"
+	"demsort/internal/elem"
+	"demsort/internal/mselect"
+	"demsort/internal/vtime"
+	"demsort/internal/workload"
+)
+
+var kvc = elem.KV16Codec{}
+
+func machine(t *testing.T, p int) *cluster.Machine {
+	t.Helper()
+	model := vtime.Default()
+	model.DiskJitter = 0
+	m, err := cluster.New(cluster.Config{P: p, BlockBytes: 4096, Model: model})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { m.Close() })
+	return m
+}
+
+// runCuts sorts per-PE data locally and runs distributed Cuts; the
+// result is the assembled matrix column[rankIdx][pe] for comparison
+// against the central reference.
+func runCuts(t *testing.T, p int, data [][]elem.KV16, ranks []int64) [][]int64 {
+	t.Helper()
+	m := machine(t, p)
+	perPE := make([][]int64, p)
+	err := m.Run(func(n *cluster.Node) error {
+		local := slices.Clone(data[n.Rank])
+		slices.SortStableFunc(local, func(a, b elem.KV16) int {
+			switch {
+			case a.Key < b.Key:
+				return -1
+			case a.Key > b.Key:
+				return 1
+			default:
+				return 0
+			}
+		})
+		perPE[n.Rank] = Cuts[elem.KV16](kvc, n, local, ranks)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cols := make([][]int64, len(ranks))
+	for ri := range ranks {
+		cols[ri] = make([]int64, p)
+		for pe := 0; pe < p; pe++ {
+			cols[ri][pe] = perPE[pe][ri]
+		}
+	}
+	return cols
+}
+
+func sortedLocals(data [][]elem.KV16) [][]elem.KV16 {
+	out := make([][]elem.KV16, len(data))
+	for i, d := range data {
+		out[i] = slices.Clone(d)
+		slices.SortStableFunc(out[i], func(a, b elem.KV16) int {
+			switch {
+			case a.Key < b.Key:
+				return -1
+			case a.Key > b.Key:
+				return 1
+			default:
+				return 0
+			}
+		})
+	}
+	return out
+}
+
+func TestCutsMatchCentralSelect(t *testing.T) {
+	for _, p := range []int{1, 2, 3, 4, 8} {
+		for _, kind := range []workload.Kind{workload.Uniform, workload.AllEqual, workload.NarrowRange} {
+			data := workload.Generate(kind, p, 300+17*p, 99)
+			locals := sortedLocals(data)
+			total := int64(0)
+			for _, l := range locals {
+				total += int64(len(l))
+			}
+			var ranks []int64
+			for i := 1; i < p; i++ {
+				ranks = append(ranks, int64(i)*total/int64(p))
+			}
+			ranks = append(ranks, 0, total/3, total) // stress extremes too
+			cols := runCuts(t, p, data, ranks)
+			acc := mselect.SliceAccessor[elem.KV16](locals)
+			for ri, rank := range ranks {
+				want := mselect.Select[elem.KV16](kvc, acc, rank)
+				if !slices.Equal(cols[ri], want) {
+					t.Fatalf("p=%d kind=%s rank=%d: got %v want %v", p, kind, rank, cols[ri], want)
+				}
+			}
+		}
+	}
+}
+
+func TestCutsSumToRank(t *testing.T) {
+	rng := rand.New(rand.NewPCG(7, 7))
+	p := 5
+	// Unequal local sizes.
+	data := make([][]elem.KV16, p)
+	var total int64
+	for pe := range data {
+		n := 100 + int(rng.UintN(900))
+		data[pe] = make([]elem.KV16, n)
+		for i := range data[pe] {
+			data[pe][i] = elem.KV16{Key: rng.Uint64N(1000), Val: uint64(pe*1_000_000 + i)}
+		}
+		total += int64(n)
+	}
+	ranks := []int64{0, 1, total / 4, total / 2, total - 1, total}
+	cols := runCuts(t, p, data, ranks)
+	for ri, rank := range ranks {
+		var sum int64
+		for q := 0; q < p; q++ {
+			sum += cols[ri][q]
+		}
+		if sum != rank {
+			t.Fatalf("rank %d: cuts sum %d", rank, sum)
+		}
+	}
+}
+
+func TestCutsLargeUniform(t *testing.T) {
+	// A larger instance exercising many pivot rounds plus the residual
+	// gather-finish.
+	p := 8
+	data := workload.Generate(workload.Uniform, p, 20000, 123)
+	locals := sortedLocals(data)
+	total := int64(p * 20000)
+	ranks := []int64{total / 2}
+	cols := runCuts(t, p, data, ranks)
+	want := mselect.Select[elem.KV16](kvc, mselect.SliceAccessor[elem.KV16](locals), total/2)
+	if !slices.Equal(cols[0], want) {
+		t.Fatalf("got %v want %v", cols[0], want)
+	}
+}
+
+func TestCutsEmptyPE(t *testing.T) {
+	// One PE contributes nothing; cuts must still be exact.
+	p := 3
+	data := [][]elem.KV16{
+		{{Key: 1, Val: 0}, {Key: 5, Val: 1}},
+		{},
+		{{Key: 2, Val: 2}, {Key: 3, Val: 3}, {Key: 4, Val: 4}},
+	}
+	cols := runCuts(t, p, data, []int64{2, 5})
+	locals := sortedLocals(data)
+	acc := mselect.SliceAccessor[elem.KV16](locals)
+	for ri, rank := range []int64{2, 5} {
+		want := mselect.Select[elem.KV16](kvc, acc, rank)
+		if !slices.Equal(cols[ri], want) {
+			t.Fatalf("rank %d: got %v want %v", rank, cols[ri], want)
+		}
+	}
+}
+
+func TestCutsManyRanksStress(t *testing.T) {
+	p := 4
+	perPE := 2500
+	data := workload.Generate(workload.WorstCaseLocal, p, perPE, 11)
+	locals := sortedLocals(data)
+	total := int64(p * perPE)
+	var ranks []int64
+	for i := 0; i <= 16; i++ {
+		ranks = append(ranks, int64(i)*total/16)
+	}
+	cols := runCuts(t, p, data, ranks)
+	acc := mselect.SliceAccessor[elem.KV16](locals)
+	for ri, rank := range ranks {
+		want := mselect.Select[elem.KV16](kvc, acc, rank)
+		if !slices.Equal(cols[ri], want) {
+			t.Fatalf("rank %d (%d/16): got %v want %v", rank, ri, cols[ri], want)
+		}
+	}
+}
+
+func TestCutsMoreRanksThanPEs(t *testing.T) {
+	// Rank ownership wraps around (owner = j mod P).
+	p := 3
+	data := workload.Generate(workload.Uniform, p, 500, 21)
+	locals := sortedLocals(data)
+	total := int64(p * 500)
+	var ranks []int64
+	for i := 0; i <= 10; i++ {
+		ranks = append(ranks, int64(i)*total/10)
+	}
+	cols := runCuts(t, p, data, ranks)
+	acc := mselect.SliceAccessor[elem.KV16](locals)
+	for ri, rank := range ranks {
+		want := mselect.Select[elem.KV16](kvc, acc, rank)
+		if !slices.Equal(cols[ri], want) {
+			t.Fatalf("rank %d: got %v want %v", rank, cols[ri], want)
+		}
+	}
+}

@@ -1,0 +1,116 @@
+package elem
+
+import (
+	"math/rand/v2"
+	"testing"
+	"testing/quick"
+)
+
+func TestU64CodecRoundTrip(t *testing.T) {
+	c := U64Codec{}
+	buf := make([]byte, c.Size())
+	for _, v := range []U64{0, 1, 42, 1<<63 - 1, 1 << 63, ^U64(0)} {
+		c.Encode(buf, v)
+		if got := c.Decode(buf); got != v {
+			t.Errorf("roundtrip %d: got %d", v, got)
+		}
+	}
+}
+
+func TestKV16CodecRoundTrip(t *testing.T) {
+	c := KV16Codec{}
+	buf := make([]byte, c.Size())
+	f := func(k, v uint64) bool {
+		in := KV16{Key: k, Val: v}
+		c.Encode(buf, in)
+		return c.Decode(buf) == in
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRec100CodecRoundTrip(t *testing.T) {
+	c := Rec100Codec{}
+	rng := rand.New(rand.NewPCG(1, 2))
+	buf := make([]byte, c.Size())
+	for i := 0; i < 100; i++ {
+		var r Rec100
+		for j := range r {
+			r[j] = byte(rng.UintN(256))
+		}
+		c.Encode(buf, r)
+		if got := c.Decode(buf); got != r {
+			t.Fatalf("roundtrip mismatch at iteration %d", i)
+		}
+	}
+}
+
+func TestKV16LessIgnoresPayload(t *testing.T) {
+	c := KV16Codec{}
+	a := KV16{Key: 5, Val: 100}
+	b := KV16{Key: 5, Val: 1}
+	if c.Less(a, b) || c.Less(b, a) {
+		t.Error("elements with equal keys must compare equal")
+	}
+	if !c.Less(KV16{Key: 4}, KV16{Key: 5}) {
+		t.Error("key order not respected")
+	}
+}
+
+func TestRec100LessUsesOnlyKeyBytes(t *testing.T) {
+	c := Rec100Codec{}
+	var a, b Rec100
+	a[10] = 200 // payload byte, outside the 10-byte key
+	if c.Less(a, b) || c.Less(b, a) {
+		t.Error("payload bytes must not affect the order")
+	}
+	b[9] = 1 // last key byte
+	if !c.Less(a, b) {
+		t.Error("expected a < b when b has larger key byte")
+	}
+}
+
+func TestEncodeDecodeSlice(t *testing.T) {
+	c := KV16Codec{}
+	vs := make([]KV16, 37)
+	rng := rand.New(rand.NewPCG(7, 9))
+	for i := range vs {
+		vs[i] = KV16{Key: rng.Uint64(), Val: rng.Uint64()}
+	}
+	buf := EncodeSlice[KV16](c, vs)
+	if len(buf) != len(vs)*c.Size() {
+		t.Fatalf("encoded length %d, want %d", len(buf), len(vs)*c.Size())
+	}
+	got := DecodeSlice[KV16](c, buf, len(vs))
+	for i := range vs {
+		if got[i] != vs[i] {
+			t.Fatalf("slice roundtrip mismatch at %d", i)
+		}
+	}
+}
+
+func TestAppendEncodeDecode(t *testing.T) {
+	c := U64Codec{}
+	buf := AppendEncode[U64](c, []byte{0xFF}, []U64{1, 2, 3})
+	if len(buf) != 1+3*8 {
+		t.Fatalf("append length %d", len(buf))
+	}
+	got := AppendDecode[U64](c, []U64{99}, buf[1:], 3)
+	want := []U64{99, 1, 2, 3}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("got %v want %v", got, want)
+		}
+	}
+}
+
+func TestIsSorted(t *testing.T) {
+	c := U64Codec{}
+	if !IsSorted[U64](c, nil) || !IsSorted[U64](c, []U64{1}) || !IsSorted[U64](c, []U64{1, 1, 2}) {
+		t.Error("sorted slices misreported")
+	}
+	if IsSorted[U64](c, []U64{2, 1}) {
+		t.Error("unsorted slice misreported")
+	}
+}

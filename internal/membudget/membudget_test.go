@@ -1,0 +1,44 @@
+package membudget
+
+import "testing"
+
+func TestAcquireRelease(t *testing.T) {
+	tr := New(100)
+	if err := tr.Acquire(60); err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.Acquire(40); err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.Acquire(1); err == nil {
+		t.Fatal("expected overflow")
+	}
+	tr.Release(1) // undo the failed acquire's accounting
+	tr.Release(50)
+	if tr.Used() != 50 {
+		t.Fatalf("used %d", tr.Used())
+	}
+	if tr.Peak() != 101 {
+		t.Fatalf("peak %d", tr.Peak())
+	}
+}
+
+func TestUnlimitedStillTracks(t *testing.T) {
+	tr := New(0)
+	if err := tr.Acquire(1 << 40); err != nil {
+		t.Fatal("unlimited tracker must not error")
+	}
+	if tr.Peak() != 1<<40 {
+		t.Fatalf("peak %d", tr.Peak())
+	}
+}
+
+func TestOverRelease(t *testing.T) {
+	tr := New(10)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on over-release")
+		}
+	}()
+	tr.Release(1)
+}

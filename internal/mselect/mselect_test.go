@@ -1,0 +1,375 @@
+package mselect
+
+import (
+	"math/rand/v2"
+	"slices"
+	"testing"
+	"testing/quick"
+
+	"demsort/internal/elem"
+)
+
+var u64c = elem.U64Codec{}
+
+func randSeqs(rng *rand.Rand, k, maxLen, keyRange int) [][]elem.U64 {
+	seqs := make([][]elem.U64, k)
+	for i := range seqs {
+		n := int(rng.Uint64N(uint64(maxLen + 1)))
+		seqs[i] = make([]elem.U64, n)
+		for j := range seqs[i] {
+			seqs[i][j] = elem.U64(rng.Uint64N(uint64(keyRange)))
+		}
+		slices.Sort(seqs[i])
+	}
+	return seqs
+}
+
+// refLeftSet computes the reference left multiset: the rank smallest
+// elements under the (value, seq, pos) total order, by brute force.
+func refLeftSet(seqs [][]elem.U64, rank int64) []int64 {
+	type tagged struct {
+		v elem.U64
+		s int
+		i int64
+	}
+	var all []tagged
+	for s, seq := range seqs {
+		for i, v := range seq {
+			all = append(all, tagged{v, s, int64(i)})
+		}
+	}
+	slices.SortFunc(all, func(a, b tagged) int {
+		switch {
+		case a.v < b.v:
+			return -1
+		case a.v > b.v:
+			return 1
+		case a.s != b.s:
+			return a.s - b.s
+		default:
+			return int(a.i - b.i)
+		}
+	})
+	pos := make([]int64, len(seqs))
+	for _, t := range all[:rank] {
+		pos[t.s]++
+	}
+	return pos
+}
+
+func TestSelectMatchesBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewPCG(1, 2))
+	for iter := 0; iter < 200; iter++ {
+		k := 1 + int(rng.UintN(6))
+		seqs := randSeqs(rng, k, 30, 10) // heavy duplicates
+		acc := SliceAccessor[elem.U64](seqs)
+		total := Total[elem.U64](acc)
+		rank := int64(rng.Uint64N(uint64(total + 1)))
+		got := Select[elem.U64](u64c, acc, rank)
+		want := refLeftSet(seqs, rank)
+		if !slices.Equal(got, want) {
+			t.Fatalf("iter %d: Select=%v brute=%v (rank %d, seqs %v)", iter, got, want, rank, seqs)
+		}
+		if err := CheckPartition[elem.U64](u64c, acc, rank, got); err != nil {
+			t.Fatalf("iter %d: %v", iter, err)
+		}
+	}
+}
+
+func TestStepHalvingMatchesSelect(t *testing.T) {
+	rng := rand.New(rand.NewPCG(3, 4))
+	for iter := 0; iter < 200; iter++ {
+		k := 1 + int(rng.UintN(6))
+		seqs := randSeqs(rng, k, 40, 8)
+		acc := SliceAccessor[elem.U64](seqs)
+		total := Total[elem.U64](acc)
+		rank := int64(rng.Uint64N(uint64(total + 1)))
+		want := Select[elem.U64](u64c, acc, rank)
+
+		maxLen := int64(1)
+		for s := 0; s < k; s++ {
+			if acc.Len(s) > maxLen {
+				maxLen = acc.Len(s)
+			}
+		}
+		got := StepHalving[elem.U64](u64c, acc, rank, nil, maxLen)
+		if !slices.Equal(got, want) {
+			t.Fatalf("iter %d: StepHalving=%v Select=%v (rank %d)", iter, got, want, rank)
+		}
+	}
+}
+
+func TestStepHalvingWithBadInit(t *testing.T) {
+	// Correctness must never depend on init quality: start from wildly
+	// wrong positions with a small step and still land on the answer.
+	rng := rand.New(rand.NewPCG(5, 6))
+	for iter := 0; iter < 100; iter++ {
+		k := 2 + int(rng.UintN(4))
+		seqs := randSeqs(rng, k, 40, 1000)
+		acc := SliceAccessor[elem.U64](seqs)
+		total := Total[elem.U64](acc)
+		if total == 0 {
+			continue
+		}
+		rank := int64(rng.Uint64N(uint64(total + 1)))
+		want := Select[elem.U64](u64c, acc, rank)
+		init := make([]int64, k)
+		for q := range init {
+			init[q] = int64(rng.Uint64N(uint64(acc.Len(q) + 1)))
+		}
+		got := StepHalving[elem.U64](u64c, acc, rank, init, 4)
+		if !slices.Equal(got, want) {
+			t.Fatalf("iter %d: got %v want %v", iter, got, want)
+		}
+	}
+}
+
+func TestSelectExtremes(t *testing.T) {
+	seqs := [][]elem.U64{{1, 2, 3}, {}, {2, 2}}
+	acc := SliceAccessor[elem.U64](seqs)
+	if got := Select[elem.U64](u64c, acc, 0); !slices.Equal(got, []int64{0, 0, 0}) {
+		t.Fatalf("rank 0: %v", got)
+	}
+	if got := Select[elem.U64](u64c, acc, 5); !slices.Equal(got, []int64{3, 0, 2}) {
+		t.Fatalf("rank total: %v", got)
+	}
+}
+
+func TestSelectAllEqualKeys(t *testing.T) {
+	// With all-equal keys, exactness is entirely down to tie-breaking.
+	seqs := [][]elem.U64{{7, 7, 7}, {7, 7}, {7, 7, 7, 7}}
+	acc := SliceAccessor[elem.U64](seqs)
+	for rank := int64(0); rank <= 9; rank++ {
+		got := Select[elem.U64](u64c, acc, rank)
+		want := refLeftSet(seqs, rank)
+		if !slices.Equal(got, want) {
+			t.Fatalf("rank %d: got %v want %v", rank, got, want)
+		}
+	}
+}
+
+func TestSelectQuickProperty(t *testing.T) {
+	cfg := &quick.Config{MaxCount: 60}
+	f := func(seed uint64, rankSel uint16) bool {
+		rng := rand.New(rand.NewPCG(seed, seed^0x9e37))
+		seqs := randSeqs(rng, 1+int(seed%5), 25, 6)
+		acc := SliceAccessor[elem.U64](seqs)
+		total := Total[elem.U64](acc)
+		rank := int64(0)
+		if total > 0 {
+			rank = int64(rankSel) % (total + 1)
+		}
+		pos := Select[elem.U64](u64c, acc, rank)
+		return CheckPartition[elem.U64](u64c, acc, rank, pos) == nil
+	}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+// buildSamples extracts every K-th element, as run formation does.
+func buildSamples(seqs [][]elem.U64, k int64) ([]Sample[elem.U64], []int64) {
+	samples := make([]Sample[elem.U64], len(seqs))
+	lens := make([]int64, len(seqs))
+	for q, s := range seqs {
+		lens[q] = int64(len(s))
+		var vals []elem.U64
+		for j := int64(0); j < int64(len(s)); j += k {
+			vals = append(vals, s[j])
+		}
+		samples[q] = Sample[elem.U64]{K: k, Vals: vals}
+	}
+	return samples, lens
+}
+
+func TestBootstrapIntervalsContainAnswer(t *testing.T) {
+	rng := rand.New(rand.NewPCG(40, 41))
+	for iter := 0; iter < 100; iter++ {
+		nSeq := 1 + int(rng.UintN(6))
+		seqs := randSeqs(rng, nSeq, 200, 50)
+		acc := SliceAccessor[elem.U64](seqs)
+		total := Total[elem.U64](acc)
+		rank := int64(rng.Uint64N(uint64(total + 1)))
+		want := Select[elem.U64](u64c, acc, rank)
+		for _, k := range []int64{1, 4, 16} {
+			samples, lens := buildSamples(seqs, k)
+			lo, hi := BootstrapIntervals[elem.U64](u64c, samples, lens, rank)
+			for q := range want {
+				if want[q] < lo[q] || want[q] > hi[q] {
+					t.Fatalf("iter %d K=%d seq %d: answer %d outside [%d,%d]",
+						iter, k, q, want[q], lo[q], hi[q])
+				}
+			}
+		}
+	}
+}
+
+func TestSelectIntervalMatchesSelect(t *testing.T) {
+	rng := rand.New(rand.NewPCG(42, 43))
+	for iter := 0; iter < 100; iter++ {
+		nSeq := 1 + int(rng.UintN(6))
+		seqs := randSeqs(rng, nSeq, 150, 30)
+		acc := SliceAccessor[elem.U64](seqs)
+		total := Total[elem.U64](acc)
+		rank := int64(rng.Uint64N(uint64(total + 1)))
+		want := Select[elem.U64](u64c, acc, rank)
+		samples, lens := buildSamples(seqs, 8)
+		lo, hi := BootstrapIntervals[elem.U64](u64c, samples, lens, rank)
+		got, ok := SelectInterval[elem.U64](u64c, acc, rank, lo, hi)
+		if !ok {
+			t.Fatalf("iter %d: bootstrap intervals rejected", iter)
+		}
+		if !slices.Equal(got, want) {
+			t.Fatalf("iter %d: got %v want %v", iter, got, want)
+		}
+	}
+}
+
+func TestSelectIntervalDetectsBadBounds(t *testing.T) {
+	seqs := [][]elem.U64{{1, 2, 3, 4, 5, 6, 7, 8}, {10, 11, 12, 13}}
+	acc := SliceAccessor[elem.U64](seqs)
+	// True cut for rank 6 is {6, 0}; force intervals that exclude it.
+	lo := []int64{0, 2}
+	hi := []int64{2, 4}
+	if _, ok := SelectInterval[elem.U64](u64c, acc, 6, lo, hi); ok {
+		t.Fatal("expected bad intervals to be detected")
+	}
+	// A caller falling back to the full range must succeed.
+	want := Select[elem.U64](u64c, acc, 6)
+	if !slices.Equal(want, []int64{6, 0}) {
+		t.Fatalf("full select got %v", want)
+	}
+}
+
+func TestSelectIntervalProbeBudget(t *testing.T) {
+	// The sampled external selection must probe far fewer elements than
+	// the input (the paper's "negligible time" claim); every probe is
+	// also confined to the bootstrap intervals, i.e. a handful of
+	// blocks per run.
+	rng := rand.New(rand.NewPCG(9, 9))
+	k := 8
+	seqs := make([][]elem.U64, k)
+	for i := range seqs {
+		seqs[i] = make([]elem.U64, 1<<12)
+		for j := range seqs[i] {
+			seqs[i][j] = elem.U64(rng.Uint64())
+		}
+		slices.Sort(seqs[i])
+	}
+	const sampleK = 64
+	samples, lens := buildSamples(seqs, sampleK)
+	ca := &CountingAccessor[elem.U64]{Inner: SliceAccessor[elem.U64](seqs)}
+	total := Total[elem.U64](ca)
+	lo, hi := BootstrapIntervals[elem.U64](u64c, samples, lens, total/2)
+	pos, ok := SelectInterval[elem.U64](u64c, ca, total/2, lo, hi)
+	if !ok {
+		t.Fatal("bootstrap intervals rejected")
+	}
+	if err := CheckPartition[elem.U64](u64c, ca, total/2, pos); err != nil {
+		t.Fatal(err)
+	}
+	if ca.Probes > total/8 {
+		t.Errorf("selection probed %d of %d elements", ca.Probes, total)
+	}
+	// Probes must stay inside the bootstrap intervals (no far fetches).
+	for q := range lo {
+		width := hi[q] - lo[q]
+		if width > int64((k+2)*sampleK*2+2) {
+			t.Errorf("seq %d interval width %d larger than bound", q, width)
+		}
+	}
+}
+
+func TestPartitionMultipleRanks(t *testing.T) {
+	rng := rand.New(rand.NewPCG(12, 13))
+	seqs := randSeqs(rng, 4, 50, 20)
+	acc := SliceAccessor[elem.U64](seqs)
+	total := Total[elem.U64](acc)
+	p := 5
+	ranks := make([]int64, 0, p-1)
+	for i := 1; i < p; i++ {
+		ranks = append(ranks, int64(i)*total/int64(p))
+	}
+	cuts := Partition[elem.U64](u64c, seqs, ranks)
+	// Cut positions must be monotone per sequence across ranks.
+	for i := 1; i < len(cuts); i++ {
+		for q := range cuts[i] {
+			if cuts[i][q] < cuts[i-1][q] {
+				t.Fatalf("cuts not monotone: rank %d seq %d", i, q)
+			}
+		}
+	}
+	for i, rank := range ranks {
+		if err := CheckPartition[elem.U64](u64c, acc, rank, cuts[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestSelectRec100(t *testing.T) {
+	// Exercise selection on SortBenchmark records too.
+	c := elem.Rec100Codec{}
+	rng := rand.New(rand.NewPCG(21, 22))
+	seqs := make([][]elem.Rec100, 3)
+	for i := range seqs {
+		seqs[i] = make([]elem.Rec100, 64)
+		for j := range seqs[i] {
+			for b := 0; b < 10; b++ {
+				seqs[i][j][b] = byte(rng.UintN(4)) // many duplicate keys
+			}
+		}
+		slices.SortFunc(seqs[i], func(a, b elem.Rec100) int {
+			if c.Less(a, b) {
+				return -1
+			}
+			if c.Less(b, a) {
+				return 1
+			}
+			return 0
+		})
+	}
+	acc := SliceAccessor[elem.Rec100](seqs)
+	total := Total[elem.Rec100](acc)
+	for _, rank := range []int64{0, 1, total / 3, total / 2, total - 1, total} {
+		pos := Select[elem.Rec100](c, acc, rank)
+		if err := CheckPartition[elem.Rec100](c, acc, rank, pos); err != nil {
+			t.Fatalf("rank %d: %v", rank, err)
+		}
+	}
+}
+
+func BenchmarkSelect8x64k(b *testing.B) {
+	rng := rand.New(rand.NewPCG(31, 32))
+	seqs := make([][]elem.U64, 8)
+	for i := range seqs {
+		seqs[i] = make([]elem.U64, 1<<16)
+		for j := range seqs[i] {
+			seqs[i][j] = elem.U64(rng.Uint64())
+		}
+		slices.Sort(seqs[i])
+	}
+	acc := SliceAccessor[elem.U64](seqs)
+	total := Total[elem.U64](acc)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Select[elem.U64](u64c, acc, total/2)
+	}
+}
+
+func BenchmarkStepHalving8x64k(b *testing.B) {
+	rng := rand.New(rand.NewPCG(33, 34))
+	seqs := make([][]elem.U64, 8)
+	for i := range seqs {
+		seqs[i] = make([]elem.U64, 1<<16)
+		for j := range seqs[i] {
+			seqs[i][j] = elem.U64(rng.Uint64())
+		}
+		slices.Sort(seqs[i])
+	}
+	acc := SliceAccessor[elem.U64](seqs)
+	total := Total[elem.U64](acc)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		StepHalving[elem.U64](u64c, acc, total/2, nil, 1<<16)
+	}
+}

@@ -1,0 +1,73 @@
+package pq
+
+// Heap is a small generic binary min-heap. It is used where the set of
+// competitors changes dynamically (e.g. choosing the sequence whose
+// splitter to move during multiway selection, or picking the next block
+// in a prediction sequence).
+type Heap[T any] struct {
+	less func(a, b T) bool
+	a    []T
+}
+
+// NewHeap returns an empty heap ordered by less.
+func NewHeap[T any](less func(a, b T) bool) *Heap[T] {
+	return &Heap[T]{less: less}
+}
+
+// Len returns the number of elements held.
+func (h *Heap[T]) Len() int { return len(h.a) }
+
+// Push inserts v.
+func (h *Heap[T]) Push(v T) {
+	h.a = append(h.a, v)
+	i := len(h.a) - 1
+	for i > 0 {
+		p := (i - 1) / 2
+		if !h.less(h.a[i], h.a[p]) {
+			break
+		}
+		h.a[i], h.a[p] = h.a[p], h.a[i]
+		i = p
+	}
+}
+
+// Min returns the smallest element without removing it. It must not be
+// called on an empty heap.
+func (h *Heap[T]) Min() T { return h.a[0] }
+
+// Pop removes and returns the smallest element. It must not be called
+// on an empty heap.
+func (h *Heap[T]) Pop() T {
+	top := h.a[0]
+	last := len(h.a) - 1
+	h.a[0] = h.a[last]
+	h.a = h.a[:last]
+	h.siftDown(0)
+	return top
+}
+
+// ReplaceMin replaces the minimum with v and restores heap order; this
+// is cheaper than Pop+Push.
+func (h *Heap[T]) ReplaceMin(v T) {
+	h.a[0] = v
+	h.siftDown(0)
+}
+
+func (h *Heap[T]) siftDown(i int) {
+	n := len(h.a)
+	for {
+		l, r := 2*i+1, 2*i+2
+		m := i
+		if l < n && h.less(h.a[l], h.a[m]) {
+			m = l
+		}
+		if r < n && h.less(h.a[r], h.a[m]) {
+			m = r
+		}
+		if m == i {
+			return
+		}
+		h.a[i], h.a[m] = h.a[m], h.a[i]
+		i = m
+	}
+}

@@ -1,0 +1,133 @@
+// Package pq provides priority structures used by multiway merging:
+// a tournament (loser) tree — the classic engine of k-way external
+// merging (Knuth vol. 3) — and a simple binary heap used where the
+// input set changes dynamically.
+package pq
+
+// LoserTree is a tournament tree over k sorted input streams. The tree
+// stores, at each internal node, the loser of the comparison between
+// the two subtree winners; the overall winner is kept at the root.
+// Replacing the winner and replaying costs exactly ceil(log2 k)
+// comparisons, independent of input order — the property that makes
+// multiway merging cheap.
+//
+// Streams are identified by their index 0..k-1. An exhausted stream is
+// represented by a sentinel that orders after every live element.
+type LoserTree[T any] struct {
+	less  func(a, b T) bool
+	k     int   // number of leaves (power of two >= streams)
+	tree  []int // loser indices per internal node; tree[0] = winner
+	item  []T   // current head element per stream
+	alive []bool
+}
+
+// NewLoserTree builds a loser tree for n streams using less as the
+// order. heads[i] is the first element of stream i; live[i] reports
+// whether stream i is non-empty. n must be >= 1.
+func NewLoserTree[T any](n int, heads []T, live []bool, less func(a, b T) bool) *LoserTree[T] {
+	if n < 1 {
+		panic("pq: loser tree needs at least one stream")
+	}
+	k := 1
+	for k < n {
+		k *= 2
+	}
+	lt := &LoserTree[T]{
+		less:  less,
+		k:     k,
+		tree:  make([]int, k),
+		item:  make([]T, k),
+		alive: make([]bool, k),
+	}
+	for i := 0; i < n; i++ {
+		lt.item[i] = heads[i]
+		lt.alive[i] = live[i]
+	}
+	lt.rebuild()
+	return lt
+}
+
+// beats reports whether stream a's head orders strictly before stream
+// b's head, with exhausted streams losing to live ones and index as the
+// final tiebreak (which makes merging of equal keys deterministic and
+// stable by stream index).
+func (lt *LoserTree[T]) beats(a, b int) bool {
+	switch {
+	case !lt.alive[a]:
+		return false
+	case !lt.alive[b]:
+		return true
+	case lt.less(lt.item[a], lt.item[b]):
+		return true
+	case lt.less(lt.item[b], lt.item[a]):
+		return false
+	default:
+		return a < b
+	}
+}
+
+// rebuild recomputes the whole tree in O(k).
+func (lt *LoserTree[T]) rebuild() {
+	// winner[i] for internal node i computed bottom-up.
+	winner := make([]int, 2*lt.k)
+	for i := 0; i < lt.k; i++ {
+		winner[lt.k+i] = i
+	}
+	for i := lt.k - 1; i >= 1; i-- {
+		a, b := winner[2*i], winner[2*i+1]
+		if lt.beats(a, b) {
+			winner[i] = a
+			lt.tree[i] = b
+		} else {
+			winner[i] = b
+			lt.tree[i] = a
+		}
+	}
+	lt.tree[0] = winner[1]
+}
+
+// Empty reports whether every stream is exhausted.
+func (lt *LoserTree[T]) Empty() bool { return !lt.alive[lt.tree[0]] }
+
+// Min returns the overall smallest head element and the stream it
+// belongs to. It must not be called when Empty.
+func (lt *LoserTree[T]) Min() (T, int) {
+	w := lt.tree[0]
+	return lt.item[w], w
+}
+
+// Replace substitutes the head of the current winner stream with v and
+// replays the path to the root. Used after consuming the winner when
+// its stream has a next element.
+func (lt *LoserTree[T]) Replace(v T) {
+	w := lt.tree[0]
+	lt.item[w] = v
+	lt.replay(w)
+}
+
+// Retire marks the current winner stream as exhausted and replays.
+func (lt *LoserTree[T]) Retire() {
+	w := lt.tree[0]
+	lt.alive[w] = false
+	lt.replay(w)
+}
+
+// Revive re-activates stream i with head v (used by batch merging where
+// streams pause at batch boundaries) and replays from its leaf.
+func (lt *LoserTree[T]) Revive(i int, v T) {
+	lt.item[i] = v
+	lt.alive[i] = true
+	lt.replay(i)
+}
+
+// replay pushes stream s's new head up the tree, swapping with stored
+// losers where they win.
+func (lt *LoserTree[T]) replay(s int) {
+	w := s
+	for i := (lt.k + s) / 2; i >= 1; i /= 2 {
+		if lt.beats(lt.tree[i], w) {
+			lt.tree[i], w = w, lt.tree[i]
+		}
+	}
+	lt.tree[0] = w
+}

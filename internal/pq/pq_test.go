@@ -1,0 +1,144 @@
+package pq
+
+import (
+	"math/rand/v2"
+	"slices"
+	"sort"
+	"testing"
+)
+
+func lessInt(a, b int) bool { return a < b }
+
+func TestLoserTreeMergesSorted(t *testing.T) {
+	rng := rand.New(rand.NewPCG(11, 13))
+	for _, k := range []int{1, 2, 3, 5, 8, 17, 33} {
+		seqs := make([][]int, k)
+		var all []int
+		for i := range seqs {
+			n := int(rng.UintN(50))
+			seqs[i] = make([]int, n)
+			for j := range seqs[i] {
+				seqs[i][j] = int(rng.UintN(1000))
+			}
+			sort.Ints(seqs[i])
+			all = append(all, seqs[i]...)
+		}
+		sort.Ints(all)
+
+		heads := make([]int, k)
+		live := make([]bool, k)
+		pos := make([]int, k)
+		for i, s := range seqs {
+			if len(s) > 0 {
+				heads[i], live[i], pos[i] = s[0], true, 1
+			}
+		}
+		lt := NewLoserTree(k, heads, live, lessInt)
+		var got []int
+		for !lt.Empty() {
+			v, i := lt.Min()
+			got = append(got, v)
+			if pos[i] < len(seqs[i]) {
+				lt.Replace(seqs[i][pos[i]])
+				pos[i]++
+			} else {
+				lt.Retire()
+			}
+		}
+		if !slices.Equal(got, all) {
+			t.Fatalf("k=%d: merge output differs from sorted union", k)
+		}
+	}
+}
+
+func TestLoserTreeTieBreakByStream(t *testing.T) {
+	// All heads equal: winner must be the lowest stream index each time.
+	heads := []int{7, 7, 7}
+	live := []bool{true, true, true}
+	lt := NewLoserTree(3, heads, live, lessInt)
+	for want := 0; want < 3; want++ {
+		_, i := lt.Min()
+		if i != want {
+			t.Fatalf("tie break: got stream %d, want %d", i, want)
+		}
+		lt.Retire()
+	}
+	if !lt.Empty() {
+		t.Error("tree should be empty")
+	}
+}
+
+func TestLoserTreeRevive(t *testing.T) {
+	heads := []int{5, 10}
+	live := []bool{true, true}
+	lt := NewLoserTree(2, heads, live, lessInt)
+	v, i := lt.Min()
+	if v != 5 || i != 0 {
+		t.Fatalf("got (%d,%d)", v, i)
+	}
+	lt.Retire() // stream 0 pauses
+	v, i = lt.Min()
+	if v != 10 || i != 1 {
+		t.Fatalf("got (%d,%d)", v, i)
+	}
+	lt.Revive(0, 6) // stream 0 resumes with 6 < 10
+	v, i = lt.Min()
+	if v != 6 || i != 0 {
+		t.Fatalf("after revive got (%d,%d)", v, i)
+	}
+}
+
+func TestLoserTreeSingleStream(t *testing.T) {
+	lt := NewLoserTree(1, []int{3}, []bool{true}, lessInt)
+	if v, i := lt.Min(); v != 3 || i != 0 {
+		t.Fatalf("got (%d,%d)", v, i)
+	}
+	lt.Retire()
+	if !lt.Empty() {
+		t.Error("expected empty")
+	}
+}
+
+func TestLoserTreeAllEmpty(t *testing.T) {
+	lt := NewLoserTree(4, make([]int, 4), make([]bool, 4), lessInt)
+	if !lt.Empty() {
+		t.Error("expected empty tree when no stream is live")
+	}
+}
+
+func TestHeapOrdering(t *testing.T) {
+	h := NewHeap(lessInt)
+	rng := rand.New(rand.NewPCG(3, 4))
+	var ref []int
+	for i := 0; i < 500; i++ {
+		v := int(rng.UintN(100))
+		h.Push(v)
+		ref = append(ref, v)
+	}
+	sort.Ints(ref)
+	for i, want := range ref {
+		if h.Len() != len(ref)-i {
+			t.Fatalf("len %d, want %d", h.Len(), len(ref)-i)
+		}
+		if got := h.Pop(); got != want {
+			t.Fatalf("pop %d: got %d want %d", i, got, want)
+		}
+	}
+}
+
+func TestHeapReplaceMin(t *testing.T) {
+	h := NewHeap(lessInt)
+	for _, v := range []int{5, 3, 8} {
+		h.Push(v)
+	}
+	if h.Min() != 3 {
+		t.Fatalf("min %d", h.Min())
+	}
+	h.ReplaceMin(10)
+	want := []int{5, 8, 10}
+	for _, w := range want {
+		if got := h.Pop(); got != w {
+			t.Fatalf("got %d want %d", got, w)
+		}
+	}
+}

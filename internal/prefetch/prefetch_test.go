@@ -1,0 +1,118 @@
+package prefetch
+
+import (
+	"math/rand/v2"
+	"testing"
+)
+
+func randomDisks(rng *rand.Rand, n, d int) []int {
+	disks := make([]int, n)
+	for i := range disks {
+		disks[i] = int(rng.Uint64N(uint64(d)))
+	}
+	return disks
+}
+
+func TestNaiveValid(t *testing.T) {
+	rng := rand.New(rand.NewPCG(1, 1))
+	for iter := 0; iter < 50; iter++ {
+		d := 2 + int(rng.Uint64N(6))
+		w := d + int(rng.Uint64N(uint64(3*d)))
+		disks := randomDisks(rng, 50+int(rng.Uint64N(200)), d)
+		s := Naive(disks, d, w)
+		if ok, why := Valid(s, disks, d, w); !ok {
+			t.Fatalf("iter %d: naive schedule invalid: %s", iter, why)
+		}
+	}
+}
+
+func TestDualityValid(t *testing.T) {
+	rng := rand.New(rand.NewPCG(2, 2))
+	for iter := 0; iter < 50; iter++ {
+		d := 2 + int(rng.Uint64N(6))
+		w := d + int(rng.Uint64N(uint64(3*d)))
+		disks := randomDisks(rng, 50+int(rng.Uint64N(200)), d)
+		s := Duality(disks, d, w)
+		if ok, why := Valid(s, disks, d, w); !ok {
+			t.Fatalf("iter %d: duality schedule invalid: %s", iter, why)
+		}
+	}
+}
+
+func TestDualityNeverWorseOnAdversarial(t *testing.T) {
+	// A bursty placement (long same-disk stretches) is the classic
+	// case where greedy prefetching wastes steps; the optimal duality
+	// schedule must not be longer than naive on any input.
+	rng := rand.New(rand.NewPCG(3, 3))
+	for iter := 0; iter < 30; iter++ {
+		d := 4
+		w := 8
+		n := 200
+		disks := make([]int, n)
+		// Bursts of length up to 10 on one disk.
+		for i := 0; i < n; {
+			disk := int(rng.Uint64N(uint64(d)))
+			l := 1 + int(rng.Uint64N(10))
+			for j := 0; j < l && i < n; j++ {
+				disks[i] = disk
+				i++
+			}
+		}
+		ns := Naive(disks, d, w)
+		ds := Duality(disks, d, w)
+		if ok, why := Valid(ds, disks, d, w); !ok {
+			t.Fatalf("duality invalid: %s", why)
+		}
+		if ds.NumSteps() > ns.NumSteps() {
+			t.Fatalf("iter %d: duality %d steps > naive %d", iter, ds.NumSteps(), ns.NumSteps())
+		}
+	}
+}
+
+func TestLowerBoundPerDisk(t *testing.T) {
+	// No schedule can beat the per-disk block count; duality should be
+	// close to it with ample buffers.
+	rng := rand.New(rand.NewPCG(4, 4))
+	d := 4
+	disks := randomDisks(rng, 400, d)
+	perDisk := make([]int, d)
+	for _, q := range disks {
+		perDisk[q]++
+	}
+	lb := 0
+	for _, c := range perDisk {
+		if c > lb {
+			lb = c
+		}
+	}
+	s := Duality(disks, d, 4*d)
+	if s.NumSteps() < lb {
+		t.Fatalf("schedule of %d steps beats the %d-step lower bound", s.NumSteps(), lb)
+	}
+	if s.NumSteps() > lb+4*d {
+		t.Errorf("duality took %d steps, lower bound %d — too far off", s.NumSteps(), lb)
+	}
+}
+
+func TestSingleDiskDegenerates(t *testing.T) {
+	disks := make([]int, 20)
+	s := Duality(disks, 1, 4)
+	if s.NumSteps() != 20 {
+		t.Fatalf("single disk needs exactly n steps, got %d", s.NumSteps())
+	}
+	n := Naive(disks, 1, 4)
+	if got, why := Valid(n, disks, 1, 4); !got {
+		t.Fatal(why)
+	}
+}
+
+func TestEmptySequence(t *testing.T) {
+	s := Duality(nil, 4, 8)
+	if s.NumSteps() != 0 {
+		t.Fatal("empty sequence needs no steps")
+	}
+	s = Naive(nil, 4, 8)
+	if s.NumSteps() != 0 {
+		t.Fatal("empty sequence needs no steps")
+	}
+}

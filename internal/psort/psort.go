@@ -1,0 +1,90 @@
+// Package psort is the shared-memory parallel sort used *inside* one
+// PE, standing in for the MCSTL/libstdc++ parallel mode the paper uses
+// ("To sort and to merge data internally we used the parallel mode of
+// the STL implementation of GCC 4.3.1"). It follows the same design as
+// the paper's distributed sort, one level down the hierarchy (§IV-E
+// "Hierarchical Parallelism"): sort core-local chunks, split them
+// exactly with multiway selection, and merge the parts in parallel.
+//
+// For a fixed worker count the result is deterministic (chunk sorts
+// are stable and ties across chunks break by chunk index); the ordering
+// of equal keys may differ between worker counts, like any parallel
+// comparison sort.
+package psort
+
+import (
+	"slices"
+	"sync"
+
+	"demsort/internal/elem"
+	"demsort/internal/mselect"
+	"demsort/internal/xmerge"
+)
+
+// Sort sorts vs in place using up to workers goroutines. workers <= 1
+// falls back to a sequential sort.
+func Sort[T any](c elem.Codec[T], vs []T, workers int) {
+	n := len(vs)
+	if workers <= 1 || n < 4*workers || n < 1024 {
+		slices.SortStableFunc(vs, cmp(c))
+		return
+	}
+	// 1. Sort `workers` chunks concurrently.
+	chunks := make([][]T, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		lo := n * w / workers
+		hi := n * (w + 1) / workers
+		chunks[w] = vs[lo:hi]
+		wg.Add(1)
+		go func(part []T) {
+			defer wg.Done()
+			slices.SortStableFunc(part, cmp(c))
+		}(chunks[w])
+	}
+	wg.Wait()
+
+	// 2. Exact equal-size splits of the sorted chunks.
+	acc := mselect.SliceAccessor[T](chunks)
+	cuts := make([][]int64, workers+1)
+	cuts[0] = make([]int64, workers)
+	cuts[workers] = make([]int64, workers)
+	for w := range chunks {
+		cuts[workers][w] = int64(len(chunks[w]))
+	}
+	for i := 1; i < workers; i++ {
+		cuts[i] = mselect.Select[T](c, acc, int64(n)*int64(i)/int64(workers))
+	}
+
+	// 3. Merge each output part concurrently into a scratch buffer.
+	out := make([]T, n)
+	for w := 0; w < workers; w++ {
+		lo := n * w / workers
+		hi := n * (w + 1) / workers
+		pieces := make([][]T, workers)
+		for q := 0; q < workers; q++ {
+			pieces[q] = chunks[q][cuts[w][q]:cuts[w+1][q]]
+		}
+		wg.Add(1)
+		go func(dst []T, pieces [][]T) {
+			defer wg.Done()
+			xmerge.AppendMerge[T](c, dst[:0], pieces)
+		}(out[lo:hi], pieces)
+	}
+	wg.Wait()
+	copy(vs, out)
+}
+
+// cmp converts a codec order into a three-way comparison.
+func cmp[T any](c elem.Codec[T]) func(a, b T) int {
+	return func(a, b T) int {
+		switch {
+		case c.Less(a, b):
+			return -1
+		case c.Less(b, a):
+			return 1
+		default:
+			return 0
+		}
+	}
+}

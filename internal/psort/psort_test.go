@@ -1,0 +1,124 @@
+package psort
+
+import (
+	"math/rand/v2"
+	"slices"
+	"testing"
+
+	"demsort/internal/elem"
+)
+
+var kvc = elem.KV16Codec{}
+
+func randKV(rng *rand.Rand, n int, keyRange uint64) []elem.KV16 {
+	vs := make([]elem.KV16, n)
+	for i := range vs {
+		vs[i] = elem.KV16{Key: rng.Uint64N(keyRange), Val: uint64(i)}
+	}
+	return vs
+}
+
+func sortedRef(vs []elem.KV16) []elem.KV16 {
+	ref := slices.Clone(vs)
+	slices.SortStableFunc(ref, func(a, b elem.KV16) int {
+		switch {
+		case a.Key < b.Key:
+			return -1
+		case a.Key > b.Key:
+			return 1
+		default:
+			return 0
+		}
+	})
+	return ref
+}
+
+func keysEqual(a, b []elem.KV16) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i].Key != b[i].Key {
+			return false
+		}
+	}
+	return true
+}
+
+func TestSortMatchesReference(t *testing.T) {
+	rng := rand.New(rand.NewPCG(1, 1))
+	for _, n := range []int{0, 1, 2, 100, 1023, 1024, 5000, 1 << 15} {
+		for _, workers := range []int{1, 2, 3, 4, 8} {
+			vs := randKV(rng, n, 1<<40)
+			want := sortedRef(vs)
+			Sort[elem.KV16](kvc, vs, workers)
+			if !keysEqual(vs, want) {
+				t.Fatalf("n=%d workers=%d: wrong key order", n, workers)
+			}
+		}
+	}
+}
+
+func TestSortIsPermutation(t *testing.T) {
+	rng := rand.New(rand.NewPCG(2, 2))
+	vs := randKV(rng, 1<<14, 100) // heavy duplicates
+	var sumBefore uint64
+	for _, v := range vs {
+		sumBefore += v.Key*31 + v.Val
+	}
+	Sort[elem.KV16](kvc, vs, 4)
+	var sumAfter uint64
+	for _, v := range vs {
+		sumAfter += v.Key*31 + v.Val
+	}
+	if sumBefore != sumAfter {
+		t.Fatal("sort lost or duplicated elements")
+	}
+	if !elem.IsSorted[elem.KV16](kvc, vs) {
+		t.Fatal("output not sorted")
+	}
+}
+
+func TestSortDeterministicPerWorkerCount(t *testing.T) {
+	rng := rand.New(rand.NewPCG(3, 3))
+	base := randKV(rng, 1<<14, 50)
+	a := slices.Clone(base)
+	b := slices.Clone(base)
+	Sort[elem.KV16](kvc, a, 4)
+	Sort[elem.KV16](kvc, b, 4)
+	if !slices.Equal(a, b) {
+		t.Fatal("same input, same workers: different outputs")
+	}
+}
+
+func TestSortAllEqualKeys(t *testing.T) {
+	vs := make([]elem.KV16, 1<<13)
+	for i := range vs {
+		vs[i] = elem.KV16{Key: 7, Val: uint64(i)}
+	}
+	Sort[elem.KV16](kvc, vs, 4)
+	if !elem.IsSorted[elem.KV16](kvc, vs) {
+		t.Fatal("not sorted")
+	}
+	seen := make([]bool, len(vs))
+	for _, v := range vs {
+		if seen[v.Val] {
+			t.Fatal("duplicate payload — element lost")
+		}
+		seen[v.Val] = true
+	}
+}
+
+func BenchmarkSort1M(b *testing.B) {
+	rng := rand.New(rand.NewPCG(4, 4))
+	base := randKV(rng, 1<<20, 1<<62)
+	buf := make([]elem.KV16, len(base))
+	for _, workers := range []int{1, 4} {
+		b.Run(map[int]string{1: "seq", 4: "par4"}[workers], func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				copy(buf, base)
+				Sort[elem.KV16](kvc, buf, workers)
+			}
+		})
+	}
+}

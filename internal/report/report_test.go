@@ -1,0 +1,106 @@
+package report
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestFigureAddAndTSV(t *testing.T) {
+	var f Figure
+	f.Title = "test"
+	f.XLabel = "P"
+	f.Series = nil
+	f.Add("a", 1, 10)
+	f.Add("a", 2, 20)
+	f.Add("b", 1, 5)
+	var buf bytes.Buffer
+	if err := f.WriteTSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "P\ta\tb") {
+		t.Fatalf("header missing: %q", out)
+	}
+	if !strings.Contains(out, "1\t10\t5") || !strings.Contains(out, "2\t20\t") {
+		t.Fatalf("rows wrong: %q", out)
+	}
+}
+
+func TestFigureSaveTSV(t *testing.T) {
+	var f Figure
+	f.Title = "saved"
+	f.XLabel = "x"
+	f.Add("s", 1, 2)
+	dir := t.TempDir()
+	path, err := f.SaveTSV(dir, "fig1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if filepath.Base(path) != "fig1.tsv" {
+		t.Fatalf("path %s", path)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), "# saved") {
+		t.Fatal("title comment missing")
+	}
+}
+
+func TestASCIIRendersBars(t *testing.T) {
+	var f Figure
+	f.Title = "bars"
+	f.XLabel = "P"
+	f.YLabel = "time"
+	f.Add("alg", 1, 1)
+	f.Add("alg", 2, 100)
+	var buf bytes.Buffer
+	f.ASCII(&buf, 40)
+	out := buf.String()
+	if !strings.Contains(out, "== bars ==") || !strings.Contains(out, "#") {
+		t.Fatalf("ascii chart malformed: %q", out)
+	}
+}
+
+func TestASCIILogScale(t *testing.T) {
+	var f Figure
+	f.LogY = true
+	f.Title = "log"
+	f.Add("s", 1, 0.001)
+	f.Add("s", 2, 10)
+	var buf bytes.Buffer
+	f.ASCII(&buf, 40)
+	if !strings.Contains(buf.String(), "log scale") {
+		t.Fatal("log scale not indicated")
+	}
+}
+
+func TestASCIIEmpty(t *testing.T) {
+	var f Figure
+	f.Title = "empty"
+	var buf bytes.Buffer
+	f.ASCII(&buf, 40)
+	if !strings.Contains(buf.String(), "no data") {
+		t.Fatal("empty figure should say so")
+	}
+}
+
+func TestTable(t *testing.T) {
+	tab := Table{Title: "sortbench", Headers: []string{"system", "GB/min"}}
+	tab.AddRow("canonical", "564")
+	tab.AddRow("baseline", "157")
+	var buf bytes.Buffer
+	tab.Write(&buf)
+	out := buf.String()
+	if !strings.Contains(out, "system") || !strings.Contains(out, "564") {
+		t.Fatalf("table malformed: %q", out)
+	}
+	dir := t.TempDir()
+	if _, err := tab.SaveText(dir, "tbl"); err != nil {
+		t.Fatal(err)
+	}
+}

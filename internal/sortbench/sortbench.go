@@ -1,0 +1,130 @@
+// Package sortbench provides the SortBenchmark tooling the paper's
+// evaluation relies on (§VI: "we made experiments on the
+// well-established SortBenchmark, initiated by Jim Gray in 1984"):
+// a gensort-style deterministic generator of 100-byte records with
+// 10-byte keys, and a valsort-style validator checking order, record
+// count and a duplicate-insensitive checksum.
+package sortbench
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand/v2"
+
+	"demsort/internal/elem"
+)
+
+// Generate produces n records starting at record index start,
+// deterministically from seed (matching runs of Generate with
+// different start/n values tile the same global sequence, like
+// gensort's -b flag).
+func Generate(seed uint64, start, n int64) []elem.Rec100 {
+	out := make([]elem.Rec100, n)
+	for i := int64(0); i < n; i++ {
+		out[i] = Record(seed, start+i)
+	}
+	return out
+}
+
+// Record produces the idx-th record of the seed's sequence: a
+// pseudo-random 10-byte key followed by a 90-byte payload carrying the
+// record index (so provenance survives sorting).
+func Record(seed uint64, idx int64) elem.Rec100 {
+	var r elem.Rec100
+	rng := rand.New(rand.NewPCG(seed, uint64(idx)*0x9e3779b97f4a7c15+0xABCD))
+	for b := 0; b < 10; b++ {
+		// Printable ASCII keys, as in gensort's default mode.
+		r[b] = byte(' ' + rng.Uint64N(95))
+	}
+	copy(r[10:], fmt.Sprintf("%020d", idx))
+	for b := 30; b < 100; b++ {
+		r[b] = byte('A' + (idx+int64(b))%26)
+	}
+	return r
+}
+
+// Skewed produces n records whose keys all share a hot 9-byte prefix
+// with probability p10 in ten (duplicate-heavy SortBenchmark variant
+// used in the skew experiments).
+func Skewed(seed uint64, start, n int64, hotIn10 int) []elem.Rec100 {
+	out := make([]elem.Rec100, n)
+	for i := int64(0); i < n; i++ {
+		r := Record(seed, start+i)
+		rng := rand.New(rand.NewPCG(seed^0x55AA, uint64(start+i)))
+		if int(rng.Uint64N(10)) < hotIn10 {
+			copy(r[:9], "HOTHOTHOT")
+		}
+		out[i] = r
+	}
+	return out
+}
+
+// Summary is valsort's digest of one record stream.
+type Summary struct {
+	Records   int64
+	Unsorted  int64  // order violations (adjacent inversions)
+	Checksum  uint64 // order-independent sum over record hashes
+	FirstKey  []byte
+	LastKey   []byte
+	Duplicate int64 // adjacent duplicate keys (informational)
+}
+
+// Validate scans records and produces a Summary; a sorted stream has
+// Unsorted == 0, and matching Checksum/Records against the generator's
+// Summary proves the output is a permutation of the input.
+func Validate(recs []elem.Rec100) Summary {
+	var s Summary
+	s.Records = int64(len(recs))
+	for i := range recs {
+		s.Checksum += hashRec(&recs[i])
+		if i > 0 {
+			switch bytes.Compare(recs[i-1][:10], recs[i][:10]) {
+			case 1:
+				s.Unsorted++
+			case 0:
+				s.Duplicate++
+			}
+		}
+	}
+	if len(recs) > 0 {
+		s.FirstKey = append([]byte(nil), recs[0][:10]...)
+		s.LastKey = append([]byte(nil), recs[len(recs)-1][:10]...)
+	}
+	return s
+}
+
+// Merge combines per-partition summaries in partition order, adding
+// cross-boundary order checks — validating a distributed sorted output
+// without materialising it in one place.
+func Merge(parts []Summary) Summary {
+	var s Summary
+	var prevLast []byte
+	for _, p := range parts {
+		s.Records += p.Records
+		s.Unsorted += p.Unsorted
+		s.Checksum += p.Checksum
+		s.Duplicate += p.Duplicate
+		if p.Records == 0 {
+			continue
+		}
+		if prevLast != nil && bytes.Compare(prevLast, p.FirstKey) > 0 {
+			s.Unsorted++
+		}
+		if s.FirstKey == nil {
+			s.FirstKey = p.FirstKey
+		}
+		prevLast = p.LastKey
+		s.LastKey = p.LastKey
+	}
+	return s
+}
+
+// hashRec hashes all 100 bytes, so payload corruption is detected too.
+func hashRec(r *elem.Rec100) uint64 {
+	var h uint64 = 0xcbf29ce484222325
+	for _, b := range r {
+		h ^= uint64(b)
+		h *= 0x100000001b3
+	}
+	return h
+}

@@ -1,0 +1,122 @@
+package sortbench
+
+import (
+	"bytes"
+	"slices"
+	"testing"
+
+	"demsort/internal/elem"
+	"demsort/internal/psort"
+)
+
+func TestGenerateDeterministicAndTiled(t *testing.T) {
+	a := Generate(1, 0, 100)
+	b := Generate(1, 0, 100)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("generator not deterministic")
+		}
+	}
+	// Tiling: [0,50) + [50,100) must equal [0,100).
+	lo := Generate(1, 0, 50)
+	hi := Generate(1, 50, 50)
+	both := append(lo, hi...)
+	for i := range a {
+		if a[i] != both[i] {
+			t.Fatal("tiled generation differs")
+		}
+	}
+	// Different seeds differ.
+	c := Generate(2, 0, 100)
+	same := 0
+	for i := range a {
+		if a[i] == c[i] {
+			same++
+		}
+	}
+	if same == len(a) {
+		t.Fatal("seed ignored")
+	}
+}
+
+func TestRecordFormat(t *testing.T) {
+	r := Record(3, 12345)
+	for b := 0; b < 10; b++ {
+		if r[b] < ' ' || r[b] > ' '+94 {
+			t.Fatal("key byte outside printable range")
+		}
+	}
+	if !bytes.Contains(r[10:30], []byte("12345")) {
+		t.Fatal("payload lost the record index")
+	}
+}
+
+func TestValidateDetectsSorted(t *testing.T) {
+	recs := Generate(5, 0, 500)
+	psort.Sort[elem.Rec100](elem.Rec100Codec{}, recs, 2)
+	s := Validate(recs)
+	if s.Unsorted != 0 {
+		t.Fatalf("sorted stream reported %d inversions", s.Unsorted)
+	}
+	if s.Records != 500 {
+		t.Fatalf("records %d", s.Records)
+	}
+}
+
+func TestValidateDetectsUnsorted(t *testing.T) {
+	recs := Generate(5, 0, 500) // raw generator order is unsorted
+	s := Validate(recs)
+	if s.Unsorted == 0 {
+		t.Fatal("unsorted stream reported clean")
+	}
+}
+
+func TestChecksumCatchesCorruption(t *testing.T) {
+	recs := Generate(7, 0, 200)
+	want := Validate(recs).Checksum
+	recs[100][50] ^= 1 // payload corruption, key untouched
+	if got := Validate(recs).Checksum; got == want {
+		t.Fatal("checksum missed payload corruption")
+	}
+}
+
+func TestChecksumOrderIndependent(t *testing.T) {
+	recs := Generate(9, 0, 300)
+	want := Validate(recs).Checksum
+	rev := slices.Clone(recs)
+	slices.Reverse(rev)
+	if Validate(rev).Checksum != want {
+		t.Fatal("checksum depends on order")
+	}
+}
+
+func TestMergeSummariesDetectsBoundaryInversion(t *testing.T) {
+	recs := Generate(11, 0, 400)
+	psort.Sort[elem.Rec100](elem.Rec100Codec{}, recs, 2)
+	ok := Merge([]Summary{Validate(recs[:200]), Validate(recs[200:])})
+	if ok.Unsorted != 0 || ok.Records != 400 {
+		t.Fatalf("clean split misreported: %+v", ok)
+	}
+	// Swap the halves: boundary inversion must be flagged.
+	bad := Merge([]Summary{Validate(recs[200:]), Validate(recs[:200])})
+	if bad.Unsorted == 0 {
+		t.Fatal("boundary inversion missed")
+	}
+	// Checksums still match (same multiset).
+	if bad.Checksum != ok.Checksum {
+		t.Fatal("checksum should be order independent")
+	}
+}
+
+func TestSkewedSharesHotPrefix(t *testing.T) {
+	recs := Skewed(13, 0, 1000, 9)
+	hot := 0
+	for i := range recs {
+		if bytes.HasPrefix(recs[i][:], []byte("HOTHOTHOT")) {
+			hot++
+		}
+	}
+	if hot < 800 || hot == len(recs) {
+		t.Fatalf("hot fraction %d/1000, want ~900", hot)
+	}
+}

@@ -1,0 +1,297 @@
+// Package stripesort implements the paper's Section III algorithm:
+// multiway mergesort with *global striping*. Runs and the final output
+// are striped over all disks of the machine (block g of a sequence
+// lives on PE g mod P), merging is driven by a prediction sequence
+// (the smallest key of every data block) so that blocks are fetched in
+// exactly the order merging needs them, and batches of Θ(M/B) blocks
+// are merged with the distributed internal merge.
+//
+// Contrast with CANONICALMERGESORT (internal/core): this algorithm's
+// I/O volume is exactly 4N — two passes even for inputs near the
+// theoretical M²/B limit, a factor P beyond canonical's capacity — but
+// every pass communicates the data up to twice (internal sorting or
+// merging, then striping), i.e. ~4 communications versus ~1, and the
+// output layout is globally striped rather than canonical. This is the
+// trade-off the paper's Sections III/IV discuss and the ablation
+// benchmarks measure.
+package stripesort
+
+import (
+	"fmt"
+
+	"demsort/internal/blockio"
+	"demsort/internal/cluster"
+	"demsort/internal/elem"
+	"demsort/internal/vtime"
+)
+
+// Phase names for the two accounted phases.
+const (
+	PhaseRunForm = "run formation"
+	PhaseMerge   = "merge"
+)
+
+// Config parameterises the striped sort.
+type Config struct {
+	// P is the number of PEs.
+	P int
+	// BlockBytes is the block size B in bytes.
+	BlockBytes int
+	// MemElems is the per-PE memory budget m in elements.
+	MemElems int64
+	// RunFraction sizes the per-PE share of a run (default 0.25).
+	RunFraction float64
+	// Randomize shuffles local input blocks before run formation (it
+	// helps the merge phase's disk balance, not data placement —
+	// striping already balances placement).
+	Randomize bool
+	// Seed drives randomization.
+	Seed uint64
+	// Overlap enables asynchronous I/O.
+	Overlap bool
+	// RealWorkers is the genuine sorting parallelism inside a PE.
+	RealWorkers int
+	// KeepOutput retains the sorted output for validation.
+	KeepOutput bool
+	// Model is the virtual-time cost model.
+	Model vtime.CostModel
+	// NewStore optionally overrides the block store factory.
+	NewStore func(rank int) (blockio.Store, error)
+}
+
+// DefaultConfig mirrors core.DefaultConfig for the striped algorithm.
+func DefaultConfig(p int, memElems int64, blockBytes int) Config {
+	return Config{
+		P:           p,
+		BlockBytes:  blockBytes,
+		MemElems:    memElems,
+		RunFraction: 0.2,
+		Randomize:   true,
+		Seed:        1,
+		Overlap:     true,
+		RealWorkers: 1,
+		Model:       vtime.Default(),
+	}
+}
+
+// Result mirrors core.Result for the striped algorithm.
+type Result[T any] struct {
+	P          int
+	N          int64
+	ElemSize   int
+	BlockElems int
+	Runs       int
+	Batches    int
+	PhaseNames []string
+	PerPE      []map[string]*vtime.PhaseStats
+	// Output is the globally sorted data reassembled from the stripes
+	// (only with KeepOutput).
+	Output []T
+	// StripedBlocks[rank] is the number of output blocks PE rank
+	// stores — the striped layout itself.
+	StripedBlocks []int64
+	PeakMemElems  []int64
+}
+
+// MaxWall and PhaseBytes mirror core.Result.
+func (r *Result[T]) MaxWall(phase string) float64 {
+	var w float64
+	for _, st := range r.PerPE {
+		if s, ok := st[phase]; ok && s.Wall > w {
+			w = s.Wall
+		}
+	}
+	return w
+}
+
+// TotalWall returns the modelled total running time.
+func (r *Result[T]) TotalWall() float64 {
+	var t float64
+	for _, ph := range r.PhaseNames {
+		t += r.MaxWall(ph)
+	}
+	return t
+}
+
+// PhaseBytes returns machine-wide (read, written) bytes in a phase.
+func (r *Result[T]) PhaseBytes(phase string) (read, written int64) {
+	for _, st := range r.PerPE {
+		if s, ok := st[phase]; ok {
+			read += s.BytesRead
+			written += s.BytesWritten
+		}
+	}
+	return read, written
+}
+
+// NetBytes returns machine-wide network bytes sent in a phase.
+func (r *Result[T]) NetBytes(phase string) int64 {
+	var b int64
+	for _, st := range r.PerPE {
+		if s, ok := st[phase]; ok {
+			b += s.BytesSent
+		}
+	}
+	return b
+}
+
+// stripedBlock is one globally striped block this PE stores: block
+// index blk of run (or of the output when run == -1).
+type stripedBlock struct {
+	id  blockio.BlockID
+	len int
+}
+
+// predEntry is one prediction-sequence entry: block blk of run run
+// starts with key first (its globally smallest unread element).
+type predEntry[T any] struct {
+	first T
+	run   int
+	blk   int64
+}
+
+// Sort runs the globally striped mergesort. input[i] starts on PE i's
+// disks; afterwards the sorted sequence is striped across all PEs
+// (output block g on PE g mod P).
+func Sort[T any](c elem.Codec[T], cfg Config, input [][]T) (*Result[T], error) {
+	if cfg.P < 1 {
+		return nil, fmt.Errorf("stripesort: P must be >= 1")
+	}
+	if len(input) != cfg.P {
+		return nil, fmt.Errorf("stripesort: input has %d slices for %d PEs", len(input), cfg.P)
+	}
+	if cfg.Model == (vtime.CostModel{}) {
+		cfg.Model = vtime.Default()
+	}
+	if cfg.RealWorkers <= 0 {
+		cfg.RealWorkers = 1
+	}
+	sz := c.Size()
+	if cfg.BlockBytes < sz {
+		return nil, fmt.Errorf("stripesort: block smaller than one element")
+	}
+	bElem := cfg.BlockBytes / sz
+	rf := cfg.RunFraction
+	if rf <= 0 || rf > 0.5 {
+		rf = 0.25
+	}
+	runLocal := int64(float64(cfg.MemElems) * rf)
+	if cfg.MemElems <= 0 {
+		runLocal = int64(bElem) * 64
+	}
+	bpr := int(runLocal / int64(bElem))
+	if bpr < 1 {
+		bpr = 1
+	}
+	runLocal = int64(bpr) * int64(bElem)
+
+	// Capacity: the merge keeps at most one leftover block per run in
+	// memory machine-wide, and each PE buffers its fetch quota, so R
+	// may grow to Θ(M/B) — the global constraint of Section III.
+	var nPerPE int64
+	for _, part := range input {
+		if int64(len(part)) > nPerPE {
+			nPerPE = int64(len(part))
+		}
+	}
+	runs := int((nPerPE + runLocal - 1) / runLocal)
+	if runs < 1 {
+		runs = 1
+	}
+	if cfg.MemElems > 0 {
+		if globalLeftover := int64(runs) * int64(bElem); globalLeftover > int64(cfg.P)*cfg.MemElems/4 {
+			return nil, fmt.Errorf("stripesort: %d runs exceed the machine capacity M/(4B) = %d",
+				runs, int64(cfg.P)*cfg.MemElems/(4*int64(bElem)))
+		}
+	}
+
+	m, err := cluster.New(cluster.Config{
+		P:          cfg.P,
+		BlockBytes: cfg.BlockBytes,
+		MemElems:   cfg.MemElems,
+		Model:      cfg.Model,
+		NewStore:   cfg.NewStore,
+	})
+	if err != nil {
+		return nil, err
+	}
+	defer m.Close()
+
+	res := &Result[T]{
+		P:             cfg.P,
+		ElemSize:      sz,
+		BlockElems:    bElem,
+		PhaseNames:    []string{PhaseRunForm, PhaseMerge},
+		PerPE:         make([]map[string]*vtime.PhaseStats, cfg.P),
+		StripedBlocks: make([]int64, cfg.P),
+		PeakMemElems:  make([]int64, cfg.P),
+	}
+	outParts := make([][]outBlock[T], cfg.P) // KeepOutput reassembly
+	batches := make([]int, cfg.P)
+	runsSeen := make([]int, cfg.P)
+
+	err = m.Run(func(n *cluster.Node) error {
+		st, err := runPE(c, n, &cfg, bElem, bpr, input[n.Rank])
+		if err != nil {
+			return err
+		}
+		res.StripedBlocks[n.Rank] = int64(len(st.outBlocks))
+		res.PeakMemElems[n.Rank] = n.Mem.Peak()
+		batches[n.Rank] = st.batches
+		runsSeen[n.Rank] = st.runs
+		if cfg.KeepOutput {
+			outParts[n.Rank] = st.outData
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	for rank, node := range m.Nodes() {
+		_, stats := node.Clock.Stats()
+		res.PerPE[rank] = stats
+	}
+	res.Runs = runsSeen[0]
+	res.Batches = batches[0]
+	if cfg.KeepOutput {
+		// Reassemble the striped output in global block order.
+		var all []outBlock[T]
+		for _, part := range outParts {
+			all = append(all, part...)
+		}
+		maxIdx := int64(-1)
+		for _, b := range all {
+			if b.idx > maxIdx {
+				maxIdx = b.idx
+			}
+		}
+		ordered := make([][]T, maxIdx+1)
+		for _, b := range all {
+			ordered[b.idx] = b.data
+		}
+		for _, blk := range ordered {
+			res.Output = append(res.Output, blk...)
+			res.N += int64(len(blk))
+		}
+	} else {
+		for _, part := range input {
+			res.N += int64(len(part))
+		}
+	}
+	return res, nil
+}
+
+// outBlock carries a kept output block for reassembly.
+type outBlock[T any] struct {
+	idx  int64
+	data []T
+}
+
+// peState is what one PE reports back.
+type peState[T any] struct {
+	outBlocks []stripedBlock
+	outData   []outBlock[T]
+	batches   int
+	runs      int
+}

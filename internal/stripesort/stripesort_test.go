@@ -1,0 +1,200 @@
+package stripesort
+
+import (
+	"slices"
+	"testing"
+
+	"demsort/internal/elem"
+	"demsort/internal/vtime"
+	"demsort/internal/workload"
+)
+
+var kvc = elem.KV16Codec{}
+
+func testConfig(p int) Config {
+	cfg := DefaultConfig(p, 1<<13, 64*16)
+	cfg.Model = vtime.Default()
+	cfg.KeepOutput = true
+	return cfg
+}
+
+func checkSorted(t *testing.T, res *Result[elem.KV16], input [][]elem.KV16) {
+	t.Helper()
+	var all []elem.KV16
+	for _, part := range input {
+		all = append(all, part...)
+	}
+	if int64(len(all)) != res.N {
+		t.Fatalf("output N=%d, input %d", res.N, len(all))
+	}
+	if !elem.IsSorted[elem.KV16](kvc, res.Output) {
+		t.Fatal("striped output not globally sorted")
+	}
+	// Permutation check via order-independent checksum.
+	if workload.Checksum(all) != workload.Checksum(res.Output) {
+		t.Fatal("output is not a permutation of the input")
+	}
+}
+
+func TestStripedSortEndToEnd(t *testing.T) {
+	for _, p := range []int{1, 2, 4, 8} {
+		for _, kind := range []workload.Kind{workload.Uniform, workload.WorstCaseLocal, workload.AllEqual} {
+			cfg := testConfig(p)
+			input := workload.Generate(kind, p, 5200, 77)
+			res, err := Sort[elem.KV16](kvc, cfg, input)
+			if err != nil {
+				t.Fatalf("p=%d %s: %v", p, kind, err)
+			}
+			checkSorted(t, res, input)
+			if res.Runs < 2 {
+				t.Fatalf("p=%d %s: expected external regime, R=%d", p, kind, res.Runs)
+			}
+			if res.Batches < 2 {
+				t.Fatalf("p=%d %s: expected several merge batches, got %d", p, kind, res.Batches)
+			}
+		}
+	}
+}
+
+func TestStripedOutputIsStriped(t *testing.T) {
+	// Block homes must alternate across PEs: with striping, per-PE
+	// block counts differ by at most one.
+	cfg := testConfig(4)
+	input := workload.Generate(workload.Uniform, 4, 5000, 3)
+	res, err := Sort[elem.KV16](kvc, cfg, input)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lo, hi := res.StripedBlocks[0], res.StripedBlocks[0]
+	for _, c := range res.StripedBlocks {
+		if c < lo {
+			lo = c
+		}
+		if c > hi {
+			hi = c
+		}
+	}
+	if hi-lo > 1 {
+		t.Fatalf("striped block counts unbalanced: %v", res.StripedBlocks)
+	}
+}
+
+func TestStripedIOIsExactlyTwoPasses(t *testing.T) {
+	// Section III's defining property: I/O volume exactly 4N (read and
+	// write each element once per pass), even for the worst-case input
+	// that costs CANONICALMERGESORT extra all-to-all I/O.
+	cfg := testConfig(4)
+	cfg.Randomize = false
+	input := workload.Generate(workload.WorstCaseLocal, 4, 6000, 5)
+	res, err := Sort[elem.KV16](kvc, cfg, input)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nBytes := res.N * int64(res.ElemSize)
+	var read, written int64
+	for _, ph := range res.PhaseNames {
+		r, w := res.PhaseBytes(ph)
+		read += r
+		written += w
+	}
+	if read != 2*nBytes || written != 2*nBytes {
+		t.Fatalf("I/O read %d written %d, want exactly %d each (4N total)", read, written, 2*nBytes)
+	}
+}
+
+func TestStripedCommunicatesMoreThanCanonical(t *testing.T) {
+	// The price of striping: ~4 communications of the data versus ~1.
+	cfg := testConfig(4)
+	input := workload.Generate(workload.Uniform, 4, 6000, 9)
+	res, err := Sort[elem.KV16](kvc, cfg, input)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nBytes := res.N * int64(res.ElemSize)
+	var net int64
+	for _, ph := range res.PhaseNames {
+		net += res.NetBytes(ph)
+	}
+	ratio := float64(net) / float64(nBytes)
+	if ratio < 2.0 {
+		t.Fatalf("striped sort communicated only %.2fx N — expected the multi-communication overhead", ratio)
+	}
+}
+
+func TestStripedSingleRun(t *testing.T) {
+	cfg := testConfig(3)
+	input := workload.Generate(workload.Uniform, 3, 800, 11)
+	res, err := Sort[elem.KV16](kvc, cfg, input)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkSorted(t, res, input)
+}
+
+func TestStripedEmptyAndTiny(t *testing.T) {
+	cfg := testConfig(2)
+	res, err := Sort[elem.KV16](kvc, cfg, [][]elem.KV16{{}, {}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.N != 0 {
+		t.Fatalf("N=%d", res.N)
+	}
+	input := [][]elem.KV16{{{Key: 3, Val: 0}}, {{Key: 1, Val: 1}}}
+	res, err = Sort[elem.KV16](kvc, cfg, input)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkSorted(t, res, input)
+}
+
+func TestStripedDeterministic(t *testing.T) {
+	cfg := testConfig(4)
+	input := workload.Generate(workload.Uniform, 4, 5000, 13)
+	a, err := Sort[elem.KV16](kvc, cfg, input)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Sort[elem.KV16](kvc, cfg, input)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !slices.Equal(a.Output, b.Output) {
+		t.Fatal("nondeterministic output")
+	}
+	for _, ph := range a.PhaseNames {
+		if a.MaxWall(ph) != b.MaxWall(ph) {
+			t.Fatal("nondeterministic virtual time")
+		}
+	}
+}
+
+func TestStripedCapacityBeyondCanonical(t *testing.T) {
+	// Section IV-D: canonical sorts O(P·m²/B), striped sorts O(M²/B) —
+	// a factor P more. Check the code agrees qualitatively: a run
+	// count acceptable to stripesort at P=8 can exceed canonical's
+	// per-PE merge limit.
+	memElems := int64(1 << 10)
+	blockBytes := 64 * 16
+	bElem := int64(blockBytes / 16)
+	p := int64(8)
+	stripedMaxRuns := p * memElems / (4 * bElem)
+	canonicalMaxRuns := (memElems/2 - bElem) / (2 * bElem)
+	if stripedMaxRuns <= canonicalMaxRuns {
+		t.Fatalf("striped capacity %d runs should exceed canonical %d", stripedMaxRuns, canonicalMaxRuns)
+	}
+	if stripedMaxRuns < p*canonicalMaxRuns/2 {
+		t.Fatalf("striped capacity should scale ~P times canonical")
+	}
+}
+
+func TestStripedRejectsTooManyRuns(t *testing.T) {
+	cfg := testConfig(1)
+	cfg.MemElems = 512
+	cfg.RunFraction = 0.25
+	// runLocal = 128 elements = 2 blocks; capacity M/(4B) = 2 runs.
+	input := workload.Generate(workload.Uniform, 1, 5000, 1)
+	if _, err := Sort[elem.KV16](kvc, cfg, input); err == nil {
+		t.Fatal("expected capacity rejection")
+	}
+}

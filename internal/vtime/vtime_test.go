@@ -1,0 +1,152 @@
+package vtime
+
+import (
+	"math"
+	"testing"
+)
+
+func TestDeviceBusyUntil(t *testing.T) {
+	var d Device
+	// Back-to-back ops queue up.
+	if got := d.Acquire(0, 2); got != 2 {
+		t.Fatalf("first op completes at %v, want 2", got)
+	}
+	if got := d.Acquire(0, 3); got != 5 {
+		t.Fatalf("queued op completes at %v, want 5", got)
+	}
+	// An op issued after the device went idle starts at its issue time.
+	if got := d.Acquire(10, 1); got != 11 {
+		t.Fatalf("idle-start op completes at %v, want 11", got)
+	}
+	if d.BusyUntil() != 11 {
+		t.Fatalf("busy until %v", d.BusyUntil())
+	}
+}
+
+func TestClockPhases(t *testing.T) {
+	c := NewClock()
+	c.SetPhase("a")
+	c.AddCPU(2)
+	c.SetPhase("b")
+	c.AddCPU(3)
+	c.SetPhase("a") // re-enter
+	c.AddCPU(1)
+	names, stats := c.Stats()
+	if len(names) != 3 || names[0] != "init" || names[1] != "a" || names[2] != "b" {
+		t.Fatalf("phase order %v", names)
+	}
+	if stats["a"].Wall != 3 || stats["a"].CPUTime != 3 {
+		t.Fatalf("phase a: %+v", stats["a"])
+	}
+	if stats["b"].Wall != 3 {
+		t.Fatalf("phase b: %+v", stats["b"])
+	}
+}
+
+func TestClockAdvanceToNeverGoesBack(t *testing.T) {
+	c := NewClock()
+	c.AdvanceTo(5)
+	c.AdvanceTo(3)
+	if c.Now() != 5 {
+		t.Fatalf("clock at %v, want 5", c.Now())
+	}
+}
+
+func TestEffNetBandwidthDecaysToFloor(t *testing.T) {
+	m := Default()
+	full := m.EffNetBandwidth(1)
+	if full != m.NetBandwidth {
+		t.Fatalf("P=1 bandwidth %v", full)
+	}
+	if m.EffNetBandwidth(2) != m.NetBandwidth {
+		t.Fatal("P=2 should be uncongested")
+	}
+	prev := full
+	for _, p := range []int{4, 8, 16, 64, 200} {
+		bw := m.EffNetBandwidth(p)
+		if bw > prev {
+			t.Fatalf("bandwidth should be non-increasing in P (P=%d)", p)
+		}
+		prev = bw
+	}
+	// The paper measured ~400 MB/s at full machine load.
+	at200 := m.EffNetBandwidth(200)
+	if math.Abs(at200-0.31*m.NetBandwidth) > 1e-3*m.NetBandwidth {
+		t.Fatalf("bandwidth at P=200 is %v, want congestion floor", at200)
+	}
+	if m.EffNetBandwidth(4000) < m.CongestionFloor*m.NetBandwidth-1 {
+		t.Fatal("bandwidth must not fall below the floor")
+	}
+}
+
+func TestNodeDiskBandwidthJitterWithinRange(t *testing.T) {
+	m := Default()
+	base := m.DiskBandwidth * float64(m.DisksPerNode)
+	seen := map[float64]bool{}
+	for rank := 0; rank < 64; rank++ {
+		bw := m.NodeDiskBandwidth(rank)
+		if bw < base*(1-m.DiskJitter)-1 || bw > base*(1+m.DiskJitter)+1 {
+			t.Fatalf("rank %d bandwidth %v outside jitter range", rank, bw)
+		}
+		seen[bw] = true
+	}
+	if len(seen) < 32 {
+		t.Errorf("expected diverse per-node disk speeds, got %d distinct", len(seen))
+	}
+	// Deterministic per rank.
+	if m.NodeDiskBandwidth(7) != m.NodeDiskBandwidth(7) {
+		t.Error("jitter must be deterministic")
+	}
+}
+
+func TestCPUCostsScale(t *testing.T) {
+	m := Default()
+	if m.SortCPU(0) != 0 || m.SortCPU(1) != 0 {
+		t.Error("degenerate sorts cost nothing")
+	}
+	if !(m.SortCPU(1<<20) > m.SortCPU(1<<10)) {
+		t.Error("sort cost must grow with n")
+	}
+	if !(m.MergeCPU(1000, 16) > m.MergeCPU(1000, 2)) {
+		t.Error("merge cost must grow with fan-in")
+	}
+	if m.MergeCPU(1000, 1) != m.ScanCPU(1000) {
+		t.Error("1-way merge is a scan")
+	}
+	// One pass of 100 GiB per PE over 4x67 MiB/s disks is ~380s each
+	// way; sanity-check the calibration is in that regime.
+	bytes := 100.0 * float64(int64(1)<<30)
+	sec := bytes / (m.DiskBandwidth * float64(m.DisksPerNode))
+	if sec < 300 || sec > 500 {
+		t.Fatalf("one-way pass time %v s, calibration off", sec)
+	}
+}
+
+func TestPhaseStatsAdd(t *testing.T) {
+	a := PhaseStats{Wall: 1, IOTime: 2, BytesRead: 3, Messages: 4}
+	b := PhaseStats{Wall: 10, IOTime: 20, BytesRead: 30, Messages: 40}
+	a.Add(&b)
+	if a.Wall != 11 || a.IOTime != 22 || a.BytesRead != 33 || a.Messages != 44 {
+		t.Fatalf("add result %+v", a)
+	}
+}
+
+func TestDiskDurIncludesSeek(t *testing.T) {
+	m := Default()
+	m.DiskJitter = 0
+	small := m.DiskDur(0, 1)
+	if small < m.DiskSeek {
+		t.Fatal("block access must pay the seek cost")
+	}
+	big := m.DiskDur(0, 8<<20)
+	if big <= small {
+		t.Fatal("larger transfers take longer")
+	}
+	// Smaller blocks mean proportionally more seek overhead per byte:
+	// the effect behind Figure 5's B=2 MiB vs B=8 MiB trade-off.
+	perByteSmall := m.DiskDur(0, 2<<20) / float64(2<<20)
+	perByteBig := m.DiskDur(0, 8<<20) / float64(8<<20)
+	if perByteSmall <= perByteBig {
+		t.Fatal("small blocks should cost more per byte")
+	}
+}

@@ -1,0 +1,141 @@
+// Package workload generates the input distributions of the paper's
+// evaluation: uniformly random data (Figures 2, 3, 5), the worst-case
+// input that defeats non-randomized run formation (Figures 4, 5, 6),
+// and several additional adversarial distributions used to stress the
+// exactness of the partitioning (baselines with inexact splitters
+// degrade on them; CANONICALMERGESORT must not).
+//
+// Every element carries a unique provenance payload (origin PE and
+// index), so tests can verify that sorting produced an exact
+// permutation — not just sorted keys — via an order-independent
+// checksum.
+package workload
+
+import (
+	"math/rand/v2"
+	"slices"
+
+	"demsort/internal/elem"
+)
+
+// Kind names an input distribution.
+type Kind string
+
+const (
+	// Uniform is i.i.d. random keys — the "random input" of Figures
+	// 2, 3 and 5.
+	Uniform Kind = "uniform"
+	// WorstCaseLocal is uniformly random keys, locally sorted on each
+	// PE. Without block randomization, every run then covers a narrow
+	// band of the key space and nearly all data must move in the
+	// all-to-all — the "worst-case input" of Figures 4-6.
+	WorstCaseLocal Kind = "worstcase"
+	// ReversedBands places band P-1-i of the key space on PE i
+	// (sorted): all data is on the wrong PE, so even perfect runs
+	// cannot avoid communication in run formation.
+	ReversedBands Kind = "reversed"
+	// NarrowRange squeezes all keys into a tiny range. Sample-sort
+	// style algorithms with inexact splitters collapse onto one PE;
+	// exact multiway selection must still produce equal parts.
+	NarrowRange Kind = "narrow"
+	// AllEqual makes every key identical — the pure tie-breaking
+	// torture test.
+	AllEqual Kind = "allequal"
+	// HotKey gives 90% of the elements one shared key. Splitter-based
+	// algorithms route the whole hot class to one PE (NOW-Sort's
+	// worst-case collapse, §II); exact selection splits the class by
+	// position and stays perfectly balanced.
+	HotKey Kind = "hotkey"
+	// GloballySorted is already sorted input in rank order, a common
+	// easy-looking case that is adversarial for run formation without
+	// randomization.
+	GloballySorted Kind = "sorted"
+)
+
+// Kinds lists all generator kinds.
+func Kinds() []Kind {
+	return []Kind{Uniform, WorstCaseLocal, ReversedBands, NarrowRange, AllEqual, HotKey, GloballySorted}
+}
+
+// Generate produces per-PE input slices: p slices of perPE elements,
+// deterministically from seed. Payloads encode (PE, index) provenance.
+func Generate(kind Kind, p int, perPE int, seed uint64) [][]elem.KV16 {
+	out := make([][]elem.KV16, p)
+	for pe := 0; pe < p; pe++ {
+		rng := rand.New(rand.NewPCG(seed, uint64(pe)*0x9e3779b97f4a7c15+1))
+		data := make([]elem.KV16, perPE)
+		for i := range data {
+			data[i] = elem.KV16{
+				Key: genKey(kind, rng, p, pe, perPE, i),
+				Val: uint64(pe)<<40 | uint64(i),
+			}
+		}
+		if kind == WorstCaseLocal || kind == ReversedBands || kind == GloballySorted {
+			slices.SortFunc(data, func(a, b elem.KV16) int {
+				switch {
+				case a.Key < b.Key:
+					return -1
+				case a.Key > b.Key:
+					return 1
+				default:
+					return 0
+				}
+			})
+		}
+		out[pe] = data
+	}
+	return out
+}
+
+func genKey(kind Kind, rng *rand.Rand, p, pe, perPE, i int) uint64 {
+	switch kind {
+	case Uniform, WorstCaseLocal:
+		return rng.Uint64()
+	case ReversedBands:
+		// PE pe draws from band p-1-pe of the key space.
+		band := uint64(p - 1 - pe)
+		width := ^uint64(0) / uint64(p)
+		return band*width + rng.Uint64N(width)
+	case NarrowRange:
+		return 1<<20 + rng.Uint64N(1024)
+	case AllEqual:
+		return 42
+	case HotKey:
+		if rng.Uint64N(10) < 9 {
+			return 1 << 30
+		}
+		return rng.Uint64()
+	case GloballySorted:
+		// Strictly increasing across (pe, i).
+		return (uint64(pe)*uint64(perPE) + uint64(i)) * 16
+	default:
+		panic("workload: unknown kind " + string(kind))
+	}
+}
+
+// Checksum returns an order-independent multiset checksum of data, so
+// input and output can be compared without sorting the reference.
+func Checksum(data []elem.KV16) uint64 {
+	var sum uint64
+	for _, v := range data {
+		h := v.Key*0x9e3779b97f4a7c15 ^ v.Val*0xc2b2ae3d27d4eb4f
+		h ^= h >> 29
+		h *= 0xbf58476d1ce4e5b9
+		h ^= h >> 32
+		sum += h
+	}
+	return sum
+}
+
+// Total flattens per-PE inputs into one slice (reference/validation).
+func Total(parts [][]elem.KV16) []elem.KV16 {
+	var n int
+	for _, p := range parts {
+		n += len(p)
+	}
+	out := make([]elem.KV16, 0, n)
+	for _, p := range parts {
+		out = append(out, p...)
+	}
+	return out
+}

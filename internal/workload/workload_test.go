@@ -1,0 +1,118 @@
+package workload
+
+import (
+	"slices"
+	"testing"
+
+	"demsort/internal/elem"
+)
+
+func TestGenerateDeterministic(t *testing.T) {
+	for _, kind := range Kinds() {
+		a := Generate(kind, 3, 100, 7)
+		b := Generate(kind, 3, 100, 7)
+		for pe := range a {
+			if !slices.Equal(a[pe], b[pe]) {
+				t.Fatalf("%s: nondeterministic for PE %d", kind, pe)
+			}
+		}
+		c := Generate(kind, 3, 100, 8)
+		if kind != AllEqual && kind != GloballySorted {
+			same := true
+			for pe := range a {
+				if !slices.Equal(a[pe], c[pe]) {
+					same = false
+				}
+			}
+			if same {
+				t.Fatalf("%s: seed ignored", kind)
+			}
+		}
+	}
+}
+
+func TestGenerateShapes(t *testing.T) {
+	const p, n = 4, 250
+	for _, kind := range Kinds() {
+		parts := Generate(kind, p, n, 1)
+		if len(parts) != p {
+			t.Fatalf("%s: %d parts", kind, len(parts))
+		}
+		for pe, part := range parts {
+			if len(part) != n {
+				t.Fatalf("%s PE %d: %d elements", kind, pe, len(part))
+			}
+		}
+	}
+}
+
+func TestPayloadsUniqueProvenance(t *testing.T) {
+	parts := Generate(Uniform, 3, 500, 3)
+	seen := map[uint64]bool{}
+	for _, part := range parts {
+		for _, v := range part {
+			if seen[v.Val] {
+				t.Fatal("duplicate provenance payload")
+			}
+			seen[v.Val] = true
+		}
+	}
+}
+
+func TestWorstCaseLocallySorted(t *testing.T) {
+	parts := Generate(WorstCaseLocal, 4, 300, 9)
+	c := elem.KV16Codec{}
+	for pe, part := range parts {
+		if !elem.IsSorted[elem.KV16](c, part) {
+			t.Fatalf("PE %d input not locally sorted", pe)
+		}
+	}
+}
+
+func TestReversedBandsPlacement(t *testing.T) {
+	p := 4
+	parts := Generate(ReversedBands, p, 200, 2)
+	width := ^uint64(0) / uint64(p)
+	for pe, part := range parts {
+		band := uint64(p - 1 - pe)
+		for _, v := range part {
+			if v.Key < band*width || (band < uint64(p-1) && v.Key >= (band+1)*width) {
+				t.Fatalf("PE %d key %x outside its band", pe, v.Key)
+			}
+		}
+	}
+}
+
+func TestAllEqualKeys(t *testing.T) {
+	parts := Generate(AllEqual, 2, 50, 5)
+	for _, part := range parts {
+		for _, v := range part {
+			if v.Key != parts[0][0].Key {
+				t.Fatal("AllEqual produced differing keys")
+			}
+		}
+	}
+}
+
+func TestGloballySortedIsSorted(t *testing.T) {
+	parts := Generate(GloballySorted, 3, 100, 1)
+	all := Total(parts)
+	if !elem.IsSorted[elem.KV16](elem.KV16Codec{}, all) {
+		t.Fatal("concatenation not globally sorted")
+	}
+}
+
+func TestChecksumOrderIndependent(t *testing.T) {
+	parts := Generate(Uniform, 2, 300, 11)
+	all := Total(parts)
+	sum := Checksum(all)
+	rev := slices.Clone(all)
+	slices.Reverse(rev)
+	if Checksum(rev) != sum {
+		t.Fatal("checksum depends on order")
+	}
+	rev[0].Key++
+	if Checksum(rev) == sum {
+		t.Fatal("checksum missed a mutation")
+	}
+}

@@ -1,0 +1,120 @@
+// Package xmerge implements sequential multiway merging of sorted
+// sequences, the inner loop of both the run-formation internal sort and
+// the final merge phase. It also provides the "batch merge" primitive
+// from Section III of the paper: merge as much as is safe given that
+// only a prefix of every run has been fetched, carrying the rest over
+// to the next batch.
+package xmerge
+
+import (
+	"demsort/internal/elem"
+	"demsort/internal/pq"
+)
+
+// Merge merges the sorted sequences seqs into a single sorted slice.
+// Ties are broken by sequence index, making the output deterministic.
+// The total length of the output equals the sum of input lengths.
+func Merge[T any](c elem.Codec[T], seqs [][]T) []T {
+	total := 0
+	for _, s := range seqs {
+		total += len(s)
+	}
+	out := make([]T, 0, total)
+	return AppendMerge(c, out, seqs)
+}
+
+// AppendMerge merges seqs, appending to dst.
+func AppendMerge[T any](c elem.Codec[T], dst []T, seqs [][]T) []T {
+	switch len(seqs) {
+	case 0:
+		return dst
+	case 1:
+		return append(dst, seqs[0]...)
+	case 2:
+		return appendMerge2(c, dst, seqs[0], seqs[1])
+	}
+	n := len(seqs)
+	heads := make([]T, n)
+	live := make([]bool, n)
+	pos := make([]int, n)
+	for i, s := range seqs {
+		if len(s) > 0 {
+			heads[i] = s[0]
+			live[i] = true
+			pos[i] = 1
+		}
+	}
+	lt := pq.NewLoserTree(n, heads, live, c.Less)
+	for !lt.Empty() {
+		v, i := lt.Min()
+		dst = append(dst, v)
+		if pos[i] < len(seqs[i]) {
+			lt.Replace(seqs[i][pos[i]])
+			pos[i]++
+		} else {
+			lt.Retire()
+		}
+	}
+	return dst
+}
+
+// appendMerge2 is the two-way special case (common when R is small).
+func appendMerge2[T any](c elem.Codec[T], dst []T, a, b []T) []T {
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		if c.Less(b[j], a[i]) {
+			dst = append(dst, b[j])
+			j++
+		} else {
+			dst = append(dst, a[i])
+			i++
+		}
+	}
+	dst = append(dst, a[i:]...)
+	return append(dst, b[j:]...)
+}
+
+// Cursor tracks consumption of one sorted sequence during streaming
+// merges: the unconsumed suffix is seq[off:].
+type Cursor[T any] struct {
+	Seq []T
+	Off int
+}
+
+// MergeBounded merges from the cursors into dst until either limit
+// elements have been produced or every cursor element <= bound has been
+// consumed. Elements strictly greater than bound are never emitted (nor
+// are any elements once limit is reached); cursors advance in place.
+//
+// This is the "extract the Θ(M) smallest unmerged elements" step of the
+// globally striped algorithm: bound is the smallest unfetched element
+// ("barrier"), so everything emitted is guaranteed globally next.
+// haveBound=false means no barrier (all sequences fully fetched).
+func MergeBounded[T any](c elem.Codec[T], dst []T, curs []*Cursor[T], limit int, bound T, haveBound bool) []T {
+	n := len(curs)
+	heads := make([]T, n)
+	live := make([]bool, n)
+	for i, cur := range curs {
+		if cur.Off < len(cur.Seq) {
+			heads[i] = cur.Seq[cur.Off]
+			live[i] = true
+		}
+	}
+	lt := pq.NewLoserTree(n, heads, live, c.Less)
+	emitted := 0
+	for !lt.Empty() && emitted < limit {
+		v, i := lt.Min()
+		if haveBound && c.Less(bound, v) {
+			break
+		}
+		dst = append(dst, v)
+		emitted++
+		curs[i].Off++
+		if curs[i].Off < len(curs[i].Seq) {
+			lt.Replace(curs[i].Seq[curs[i].Off])
+		} else {
+			lt.Retire()
+		}
+	}
+	return dst
+}

@@ -1,0 +1,115 @@
+package xmerge
+
+import (
+	"math/rand/v2"
+	"slices"
+	"testing"
+
+	"demsort/internal/elem"
+)
+
+var u64c = elem.U64Codec{}
+
+func randomSortedSeqs(rng *rand.Rand, k, maxLen, keyRange int) ([][]elem.U64, []elem.U64) {
+	seqs := make([][]elem.U64, k)
+	var all []elem.U64
+	for i := range seqs {
+		n := int(rng.Uint64N(uint64(maxLen + 1)))
+		seqs[i] = make([]elem.U64, n)
+		for j := range seqs[i] {
+			seqs[i][j] = elem.U64(rng.Uint64N(uint64(keyRange)))
+		}
+		slices.Sort(seqs[i])
+		all = append(all, seqs[i]...)
+	}
+	slices.Sort(all)
+	return seqs, all
+}
+
+func TestMergeEqualsSortedUnion(t *testing.T) {
+	rng := rand.New(rand.NewPCG(1, 1))
+	for _, k := range []int{0, 1, 2, 3, 4, 9, 20} {
+		seqs, all := randomSortedSeqs(rng, k, 40, 100)
+		got := Merge[elem.U64](u64c, seqs)
+		if !slices.Equal(got, all) {
+			t.Fatalf("k=%d: merged output differs", k)
+		}
+	}
+}
+
+func TestMergeManyDuplicates(t *testing.T) {
+	rng := rand.New(rand.NewPCG(2, 2))
+	seqs, all := randomSortedSeqs(rng, 6, 100, 3) // keys only 0..2
+	got := Merge[elem.U64](u64c, seqs)
+	if !slices.Equal(got, all) {
+		t.Fatal("merge with heavy duplicates differs from sorted union")
+	}
+}
+
+func TestAppendMergePreservesPrefix(t *testing.T) {
+	dst := []elem.U64{7}
+	got := AppendMerge[elem.U64](u64c, dst, [][]elem.U64{{1, 3}, {2}})
+	want := []elem.U64{7, 1, 2, 3}
+	if !slices.Equal(got, want) {
+		t.Fatalf("got %v want %v", got, want)
+	}
+}
+
+func TestMergeEmptyInputs(t *testing.T) {
+	if got := Merge[elem.U64](u64c, nil); len(got) != 0 {
+		t.Fatal("merging nothing should give empty output")
+	}
+	if got := Merge[elem.U64](u64c, [][]elem.U64{{}, {}, {}}); len(got) != 0 {
+		t.Fatal("merging empties should give empty output")
+	}
+}
+
+func TestMergeBoundedStopsAtBarrier(t *testing.T) {
+	curs := []*Cursor[elem.U64]{
+		{Seq: []elem.U64{1, 4, 9}},
+		{Seq: []elem.U64{2, 5, 20}},
+	}
+	out := MergeBounded[elem.U64](u64c, nil, curs, 1000, elem.U64(5), true)
+	want := []elem.U64{1, 2, 4, 5}
+	if !slices.Equal(out, want) {
+		t.Fatalf("got %v want %v", out, want)
+	}
+	// Cursors must reflect consumption.
+	if curs[0].Off != 2 || curs[1].Off != 2 {
+		t.Fatalf("cursor offsets %d,%d want 2,2", curs[0].Off, curs[1].Off)
+	}
+	// Continuing without a barrier drains the rest in order.
+	rest := MergeBounded[elem.U64](u64c, nil, curs, 1000, 0, false)
+	if !slices.Equal(rest, []elem.U64{9, 20}) {
+		t.Fatalf("rest %v", rest)
+	}
+}
+
+func TestMergeBoundedRespectsLimit(t *testing.T) {
+	curs := []*Cursor[elem.U64]{{Seq: []elem.U64{1, 2, 3, 4}}}
+	out := MergeBounded[elem.U64](u64c, nil, curs, 2, 0, false)
+	if !slices.Equal(out, []elem.U64{1, 2}) {
+		t.Fatalf("got %v", out)
+	}
+	if curs[0].Off != 2 {
+		t.Fatalf("cursor offset %d", curs[0].Off)
+	}
+}
+
+func TestMergeBoundedEmitsBarrierDuplicates(t *testing.T) {
+	// Elements equal to the bound are emitted (<= bound), ones above stay.
+	curs := []*Cursor[elem.U64]{{Seq: []elem.U64{5, 5, 5, 6}}}
+	out := MergeBounded[elem.U64](u64c, nil, curs, 1000, elem.U64(5), true)
+	if !slices.Equal(out, []elem.U64{5, 5, 5}) {
+		t.Fatalf("got %v", out)
+	}
+}
+
+func BenchmarkMerge8Way(b *testing.B) {
+	rng := rand.New(rand.NewPCG(5, 5))
+	seqs, _ := randomSortedSeqs(rng, 8, 1<<14, 1<<30)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Merge[elem.U64](u64c, seqs)
+	}
+}
