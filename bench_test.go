@@ -173,6 +173,7 @@ func BenchmarkSortCanonical(b *testing.B) {
 			input := workload.Generate(workload.Uniform, p, 24576, 7)
 			opts := demsort.NewOptions(p, 8192, 1024)
 			b.SetBytes(int64(p) * 24576 * 16)
+			b.ReportAllocs() // allocation regression gate for the zero-copy data plane
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
 				res, err := demsort.Sort[demsort.KV16](demsort.KV16Codec{}, opts, input)
@@ -195,6 +196,7 @@ func BenchmarkSortStriped(b *testing.B) {
 			input := workload.Generate(workload.Uniform, p, 16384, 7)
 			opts := demsort.NewStripedOptions(p, 8192, 1024)
 			b.SetBytes(int64(p) * 16384 * 16)
+			b.ReportAllocs() // allocation regression gate for the zero-copy data plane
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
 				res, err := demsort.SortStriped[demsort.KV16](demsort.KV16Codec{}, opts, input)

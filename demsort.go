@@ -16,8 +16,9 @@
 // Correctness is real — elements genuinely move between per-PE address
 // spaces and through block stores — while running times are modelled by
 // a virtual-time cost model calibrated to the paper's testbed, so the
-// evaluation figures can be regenerated at laptop scale. See DESIGN.md
-// for the substitution argument and EXPERIMENTS.md for the results.
+// evaluation figures can be regenerated at laptop scale. See README.md
+// for the architecture sketch and bench_test.go for the figure and
+// table harness.
 //
 // Quick start:
 //

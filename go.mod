@@ -1,0 +1,3 @@
+module demsort
+
+go 1.24

@@ -12,6 +12,7 @@ import (
 	"os"
 	"sync"
 
+	"demsort/internal/bufpool"
 	"demsort/internal/vtime"
 )
 
@@ -41,11 +42,13 @@ func NewMemStore() *MemStore {
 	return &MemStore{blocks: map[BlockID][]byte{}}
 }
 
-// ReadAt implements Store.
+// ReadAt implements Store. The copy happens under the lock: WriteAt
+// rewrites recycled block buffers in place, so a snapshot taken under
+// RLock is not immutable once the lock is released.
 func (s *MemStore) ReadAt(id BlockID, dst []byte) error {
 	s.mu.RLock()
+	defer s.mu.RUnlock()
 	b, ok := s.blocks[id]
-	s.mu.RUnlock()
 	if !ok {
 		return fmt.Errorf("blockio: read of unwritten block %d", id)
 	}
@@ -56,19 +59,31 @@ func (s *MemStore) ReadAt(id BlockID, dst []byte) error {
 	return nil
 }
 
-// WriteAt implements Store.
+// WriteAt implements Store. Rewrites of a recycled block reuse its
+// previous buffer when it is large enough; fresh buffers come from the
+// shared arena, so steady-state writes allocate nothing.
 func (s *MemStore) WriteAt(id BlockID, src []byte) error {
-	b := make([]byte, len(src))
-	copy(b, src)
 	s.mu.Lock()
+	b := s.blocks[id]
+	if cap(b) < len(src) {
+		if b != nil {
+			bufpool.Put(b)
+		}
+		b = bufpool.Get(len(src))
+	}
+	b = b[:len(src)]
+	copy(b, src)
 	s.blocks[id] = b
 	s.mu.Unlock()
 	return nil
 }
 
-// Close implements Store.
+// Close implements Store, returning the block buffers to the arena.
 func (s *MemStore) Close() error {
 	s.mu.Lock()
+	for _, b := range s.blocks {
+		bufpool.Put(b)
+	}
 	s.blocks = nil
 	s.mu.Unlock()
 	return nil

@@ -22,6 +22,7 @@ import (
 	"sync"
 
 	"demsort/internal/blockio"
+	"demsort/internal/bufpool"
 	"demsort/internal/membudget"
 	"demsort/internal/vtime"
 )
@@ -349,6 +350,18 @@ func (n *Node) AllToAllv(send [][]byte) [][]byte {
 	})
 	n.charge(out)
 	return out.data.([][]byte)
+}
+
+// RecycleRecv returns AllToAllv payload buffers to the shared arena
+// once their contents have been decoded. Message buffers have exactly
+// one receiver, so the receiver owns them after the collective; the
+// sender must not touch its send buffers after AllToAllv returns.
+// Never call this on AllGather or Bcast results — those are shared
+// structurally between PEs.
+func RecycleRecv(bufs [][]byte) {
+	for _, b := range bufs {
+		bufpool.Put(b)
+	}
 }
 
 // AllGather collects each PE's byte slice; the result is indexed by

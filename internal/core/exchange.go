@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 
+	"demsort/internal/bufpool"
 	"demsort/internal/cluster"
 	"demsort/internal/elem"
 )
@@ -130,17 +131,18 @@ func exchange[T any](c elem.Codec[T], n *cluster.Node, cfg *Config, d derived, m
 		blk int64
 	}
 	lastKey := cacheKey{-1, -1}
-	var lastVals []T
+	var lastVals []T // reused decode buffer; valid until the next readBlock
 	readBlock := func(ri int, blk int64) []T {
 		key := cacheKey{ri, blk}
 		if key == lastKey {
 			return lastVals
 		}
 		e := locals[ri].file.Extents[blk]
-		raw := make([]byte, e.Len*sz)
+		raw := bufpool.Get(e.Len * sz)
 		n.Vol.ReadWait(e.ID, raw)
 		lastKey = key
-		lastVals = elem.DecodeSlice(c, raw, e.Len)
+		lastVals = elem.AppendDecode(c, lastVals[:0], raw, e.Len)
+		bufpool.Put(raw)
 		return lastVals
 	}
 
@@ -150,6 +152,7 @@ func exchange[T any](c elem.Codec[T], n *cluster.Node, cfg *Config, d derived, m
 	}
 
 	// ----- Execute k sub-operations -----
+	var decScratch []T // reused staging buffer for received pieces
 	for s := 0; s < k; s++ {
 		send := make([][]byte, n.P)
 		for q := 0; q < n.P; q++ {
@@ -161,7 +164,7 @@ func exchange[T any](c elem.Codec[T], n *cluster.Node, cfg *Config, d derived, m
 			if wLo >= wHi {
 				continue
 			}
-			buf := make([]byte, 0, (wHi-wLo)*int64(sz))
+			buf := bufpool.Get(int(wHi-wLo) * sz)[:0]
 			pos := int64(0)
 			for _, seg := range sendSegs[q] {
 				segN := seg.hi - seg.lo
@@ -223,11 +226,13 @@ func exchange[T any](c elem.Codec[T], n *cluster.Node, cfg *Config, d derived, m
 				}
 				w.resume()
 				cnt := int(b - a)
-				w.addSlice(elem.DecodeSlice(c, data[off*int64(sz):(off+int64(cnt))*int64(sz)], cnt))
+				decScratch = elem.AppendDecode(c, decScratch[:0], data[off*int64(sz):(off+int64(cnt))*int64(sz)], cnt)
+				w.addSlice(decScratch)
 				off += int64(cnt)
 			}
 			n.Clock.AddCPU(cfg.Model.ScanCPU(wHi - wLo))
 		}
+		cluster.RecycleRecv(recv)
 		// Sub-operation boundary: flush all partial receive blocks.
 		for ri := range writers {
 			for _, w := range writers[ri] {

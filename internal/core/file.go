@@ -2,6 +2,7 @@ package core
 
 import (
 	"demsort/internal/blockio"
+	"demsort/internal/bufpool"
 	"demsort/internal/elem"
 )
 
@@ -66,7 +67,7 @@ func newWriter[T any](c elem.Codec[T], vol *blockio.Volume) *writer[T] {
 		vol:   vol,
 		bElem: bElem,
 		buf:   make([]T, 0, bElem),
-		enc:   make([]byte, 0, vol.BlockBytes()),
+		enc:   bufpool.Get(vol.BlockBytes())[:0],
 	}
 }
 
@@ -102,7 +103,8 @@ func (w *writer[T]) flushFull() {
 	w.buf = w.buf[:0]
 }
 
-// finish flushes any partial tail and returns the file.
+// finish flushes any partial tail, releases the encode buffer to the
+// arena and returns the file. The writer must not be reused after.
 func (w *writer[T]) finish() File {
 	if len(w.buf) > 0 {
 		id := w.vol.Alloc()
@@ -111,6 +113,8 @@ func (w *writer[T]) finish() File {
 		w.file.Append(Extent{ID: id, Off: 0, Len: len(w.buf), Own: true})
 		w.buf = w.buf[:0]
 	}
+	bufpool.Put(w.enc)
+	w.enc = nil
 	f := w.file
 	w.file = File{}
 	return f
@@ -142,9 +146,10 @@ func (w *writer[T]) resume() {
 	if last.Len == w.bElem || !last.Own || last.Off != 0 {
 		return
 	}
-	raw := make([]byte, last.Len*w.c.Size())
+	raw := bufpool.Get(last.Len * w.c.Size())
 	w.vol.ReadWait(last.ID, raw)
 	w.buf = elem.AppendDecode(w.c, w.buf[:0], raw, last.Len)
+	bufpool.Put(raw)
 	w.vol.Free(last.ID)
 	w.file.Extents = w.file.Extents[:n-1]
 	w.file.N -= int64(last.Len)
@@ -190,7 +195,8 @@ func (r *reader[T]) prefetch() {
 	r.idx++
 	need := (e.Off + e.Len) * r.c.Size()
 	if cap(r.nextRaw) < need {
-		r.nextRaw = make([]byte, need)
+		bufpool.Put(r.nextRaw)
+		r.nextRaw = bufpool.Get(need)
 	}
 	r.nextRaw = r.nextRaw[:need]
 	h := r.vol.ReadAsync(e.ID, r.nextRaw)
@@ -210,6 +216,8 @@ func (r *reader[T]) advance() {
 	if !r.nextOK {
 		r.cur = nil
 		r.curE = Extent{}
+		bufpool.Put(r.nextRaw)
+		r.nextRaw = nil
 		return
 	}
 	r.vol.Wait(r.nextH)
@@ -240,14 +248,16 @@ func (r *reader[T]) next() (T, bool) {
 // readAll decodes a whole file into memory (tests and small metadata).
 func readAll[T any](c elem.Codec[T], vol *blockio.Volume, f File) []T {
 	out := make([]T, 0, f.N)
-	raw := make([]byte, vol.BlockBytes())
+	raw := bufpool.Get(vol.BlockBytes())
 	for _, e := range f.Extents {
 		need := (e.Off + e.Len) * c.Size()
 		if cap(raw) < need {
-			raw = make([]byte, need)
+			bufpool.Put(raw)
+			raw = bufpool.Get(need)
 		}
 		vol.ReadWait(e.ID, raw[:need])
-		out = elem.AppendDecode(c, out, raw[e.Off*c.Size():], e.Len)
+		out = elem.AppendDecode(c, out, raw[e.Off*c.Size():need], e.Len)
 	}
+	bufpool.Put(raw)
 	return out
 }

@@ -1,0 +1,56 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+
+	"demsort/internal/elem"
+	"demsort/internal/workload"
+)
+
+// Every phase must return its memory reservations: the budget tracker
+// of each PE ends a sort at exactly zero live elements. This pins the
+// acquire/release pairing of run formation (chunk, send copies,
+// received encodings, pieces+merged, and — the historical leak — the
+// per-run samples, which are only released after multiway selection).
+func TestSortMemBudgetReturnsToZero(t *testing.T) {
+	for _, p := range []int{1, 2, 4, 8} {
+		for _, kind := range []workload.Kind{workload.Uniform, workload.WorstCaseLocal, workload.AllEqual} {
+			t.Run(fmt.Sprintf("p%d_%s", p, kind), func(t *testing.T) {
+				cfg := testConfig(p)
+				input := inputFor(cfg, kind, 5200, 77)
+				res, err := Sort[elem.KV16](kvc, cfg, input)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if res.Runs < 2 {
+					t.Fatalf("want an external sort (R >= 2), got R=%d", res.Runs)
+				}
+				for rank, live := range res.EndMemElems {
+					if live != 0 {
+						t.Errorf("PE %d finished with %d elements of budget still reserved", rank, live)
+					}
+				}
+			})
+		}
+	}
+}
+
+// The single-run (MinuteSort) regime takes a different code path
+// through run formation; its pairing must balance too.
+func TestSortMemBudgetReturnsToZeroSingleRun(t *testing.T) {
+	cfg := testConfig(4)
+	input := inputFor(cfg, workload.Uniform, 900, 5) // < runLocal: one run
+	res, err := Sort[elem.KV16](kvc, cfg, input)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Runs != 1 {
+		t.Fatalf("want the single-run regime, got R=%d", res.Runs)
+	}
+	for rank, live := range res.EndMemElems {
+		if live != 0 {
+			t.Errorf("PE %d finished with %d elements of budget still reserved", rank, live)
+		}
+	}
+}

@@ -5,6 +5,7 @@ import (
 	"math/rand/v2"
 
 	"demsort/internal/blockio"
+	"demsort/internal/bufpool"
 	"demsort/internal/cluster"
 	"demsort/internal/dselect"
 	"demsort/internal/elem"
@@ -66,7 +67,7 @@ func runFormation[T any](c elem.Codec[T], n *cluster.Node, cfg *Config, d derive
 		}
 		ps := make([]pending, 0, hi-lo)
 		for _, e := range exts[lo:hi] {
-			raw := make([]byte, e.Len*c.Size())
+			raw := bufpool.Get(e.Len * c.Size())
 			h := n.Vol.ReadAsync(e.ID, raw)
 			if !cfg.Overlap {
 				n.Vol.Wait(h)
@@ -96,6 +97,7 @@ func runFormation[T any](c elem.Codec[T], n *cluster.Node, cfg *Config, d derive
 			for _, p := range cur {
 				n.Vol.Wait(p.handle)
 				blk := elem.DecodeSlice(c, p.raw, p.ext.Len)
+				bufpool.Put(p.raw)
 				psort.Sort(c, blk, cfg.RealWorkers)
 				n.Clock.AddCPU(cfg.Model.SortCPU(int64(len(blk))) + cfg.Model.ScanCPU(int64(len(blk))))
 				blocks = append(blocks, blk)
@@ -107,6 +109,7 @@ func runFormation[T any](c elem.Codec[T], n *cluster.Node, cfg *Config, d derive
 			for _, p := range cur {
 				n.Vol.Wait(p.handle)
 				chunk = elem.AppendDecode(c, chunk, p.raw, p.ext.Len)
+				bufpool.Put(p.raw)
 				n.Vol.Free(p.ext.ID)
 			}
 			n.Clock.AddCPU(cfg.Model.ScanCPU(int64(len(chunk))))
@@ -123,15 +126,19 @@ func runFormation[T any](c elem.Codec[T], n *cluster.Node, cfg *Config, d derive
 		send := make([][]byte, n.P)
 		for q := 0; q < n.P; q++ {
 			lo, hi := cutAt(cuts, q, int64(len(chunk)), n.P)
-			send[q] = elem.EncodeSlice(c, chunk[lo:hi])
+			sb := bufpool.Get(int(hi-lo) * c.Size())
+			elem.EncodeInto(c, sb, chunk[lo:hi])
+			send[q] = sb
 		}
-		n.Mem.MustAcquire(int64(len(chunk))) // encoded copies
+		n.Mem.MustAcquire(int64(chunkLen)) // encoded send copies
 		n.Clock.AddCPU(cfg.Model.ScanCPU(int64(len(chunk))))
 		chunk = nil
-		n.Mem.Release(int64(chunkLen))
+		n.Mem.Release(int64(chunkLen)) // decoded chunk dropped
 
 		recv := n.AllToAllv(send)
+		n.Mem.Release(int64(chunkLen)) // send copies handed off to receivers
 		segLen := bounds[n.Rank+1] - bounds[n.Rank]
+		n.Mem.MustAcquire(segLen)     // received encodings
 		n.Mem.MustAcquire(2 * segLen) // decoded pieces + merged output
 		pieces := make([][]T, n.P)
 		var got int64
@@ -140,12 +147,13 @@ func runFormation[T any](c elem.Codec[T], n *cluster.Node, cfg *Config, d derive
 			pieces[q] = elem.DecodeSlice(c, recv[q], cnt)
 			got += int64(cnt)
 		}
+		cluster.RecycleRecv(recv)
+		n.Mem.Release(segLen) // received encodings recycled
 		if got != segLen {
 			return nil, fmt.Errorf("core: run %d: PE %d received %d elements, expected segment of %d", r, n.Rank, got, segLen)
 		}
 		merged := xmerge.Merge(c, pieces)
 		n.Clock.AddCPU(cfg.Model.MergeCPU(segLen, n.P) + cfg.Model.ScanCPU(segLen))
-		n.Mem.Release(int64(chunkLen)) // encoded copies gone after recv decode
 
 		// Sample every K-th global run position (§IV-A) and persist
 		// the segment to local disk.
@@ -153,6 +161,8 @@ func runFormation[T any](c elem.Codec[T], n *cluster.Node, cfg *Config, d derive
 		for j := firstMultiple(lr.segStart, d.sampleK) - lr.segStart; j < segLen; j += d.sampleK {
 			lr.sample = append(lr.sample, merged[j])
 		}
+		// Held until the splitters are known; released by Sort after
+		// multiwaySelection (releaseSamples).
 		n.Mem.MustAcquire(int64(len(lr.sample)))
 
 		w := newWriter(c, n.Vol)

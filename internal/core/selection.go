@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"sort"
 
+	"demsort/internal/bufpool"
 	"demsort/internal/cluster"
 	"demsort/internal/elem"
 	"demsort/internal/mselect"
@@ -137,9 +138,11 @@ func (a *probeAccessor[T]) At(s int, i int64) T {
 
 func (a *probeAccessor[T]) readLocalBlock(run int, blk int64) []T {
 	e := a.locals[run].file.Extents[blk]
-	raw := make([]byte, e.Len*a.c.Size())
+	raw := bufpool.Get(e.Len * a.c.Size())
 	a.n.Vol.ReadWait(e.ID, raw)
-	return elem.DecodeSlice(a.c, raw, e.Len)
+	vals := elem.DecodeSlice(a.c, raw, e.Len)
+	bufpool.Put(raw)
+	return vals
 }
 
 // prefetchAround fetches, in one batched round, the block containing
@@ -300,6 +303,7 @@ func multiwaySelection[T any](c elem.Codec[T], n *cluster.Node, cfg *Config, d d
 		// Serve round: read the requested local blocks; replies are
 		// length-prefixed because block sizes vary at run tails.
 		reps := make([][]byte, n.P)
+		var serveRaw []byte // reused serve-side read buffer
 		for q := 0; q < n.P; q++ {
 			buf := got[q]
 			for len(buf) >= 12 {
@@ -307,14 +311,20 @@ func multiwaySelection[T any](c elem.Codec[T], n *cluster.Node, cfg *Config, d d
 				blk := int64(binary.LittleEndian.Uint64(buf[4:12]))
 				buf = buf[12:]
 				e := locals[run].file.Extents[blk]
-				raw := make([]byte, e.Len*c.Size())
-				n.Vol.ReadWait(e.ID, raw)
+				need := e.Len * c.Size()
+				if cap(serveRaw) < need {
+					bufpool.Put(serveRaw)
+					serveRaw = bufpool.Get(need)
+				}
+				serveRaw = serveRaw[:need]
+				n.Vol.ReadWait(e.ID, serveRaw)
 				var hdr [4]byte
 				binary.LittleEndian.PutUint32(hdr[:], uint32(e.Len))
 				reps[q] = append(reps[q], hdr[:]...)
-				reps[q] = append(reps[q], raw...)
+				reps[q] = append(reps[q], serveRaw...)
 			}
 		}
+		bufpool.Put(serveRaw)
 		back := n.AllToAllv(reps)
 		if len(pending) > 0 {
 			// Replies arrive grouped per owner in request order.
@@ -330,6 +340,8 @@ func multiwaySelection[T any](c elem.Codec[T], n *cluster.Node, cfg *Config, d d
 			pending = nil
 			awaitSelector()
 		}
+		cluster.RecycleRecv(got)
+		cluster.RecycleRecv(back)
 	}
 	if active && !done {
 		return nil, fmt.Errorf("core: selection protocol ended with selector still pending on PE %d", n.Rank)

@@ -34,6 +34,10 @@ type Result[T any] struct {
 	// PeakMemElems and PeakDiskBlocks are per-PE high-water marks.
 	PeakMemElems   []int64
 	PeakDiskBlocks []int64
+	// EndMemElems[rank] is the memory budget still reserved when the
+	// sort finished — always zero unless a phase leaks reservations
+	// (tests assert this).
+	EndMemElems []int64
 }
 
 // MaxWall returns the slowest PE's wall time for one phase — the
@@ -83,6 +87,23 @@ func (r *Result[T]) NetBytes(phase string) int64 {
 		}
 	}
 	return b
+}
+
+// releaseSamples returns the sample reservations of run formation
+// (per-run local samples) and of gatherRunsMeta (the gathered global
+// sample) once the splitters are exact — the samples are dead weight
+// from here on, and holding them would leak a per-run budget share.
+func releaseSamples[T any](n *cluster.Node, meta *runsMeta[T], locals []localRun[T]) {
+	var sampleElems int64
+	for i := range locals {
+		sampleElems += int64(len(locals[i].sample))
+		locals[i].sample = nil
+	}
+	for i := range meta.samples {
+		sampleElems += int64(len(meta.samples[i].Vals))
+		meta.samples[i].Vals = nil
+	}
+	n.Mem.Release(sampleElems)
 }
 
 // Sort runs CANONICALMERGESORT on the simulated cluster: input[i] is
@@ -157,6 +178,7 @@ func Sort[T any](c elem.Codec[T], cfg Config, input [][]T) (*Result[T], error) {
 	}
 	res.PeakMemElems = make([]int64, cfg.P)
 	res.PeakDiskBlocks = make([]int64, cfg.P)
+	res.EndMemElems = make([]int64, cfg.P)
 	runsSeen := make([]int, cfg.P)
 	subOps := make([]int, cfg.P)
 
@@ -182,6 +204,7 @@ func Sort[T any](c elem.Codec[T], cfg Config, input [][]T) (*Result[T], error) {
 		if err != nil {
 			return err
 		}
+		releaseSamples(n, meta, locals)
 
 		pieces, k, err := exchange(c, n, &cfg, d, meta, locals, split)
 		if err != nil {
@@ -202,6 +225,7 @@ func Sort[T any](c elem.Codec[T], cfg Config, input [][]T) (*Result[T], error) {
 		}
 		res.PeakMemElems[n.Rank] = n.Mem.Peak()
 		res.PeakDiskBlocks[n.Rank] = n.Vol.PeakUsed()
+		res.EndMemElems[n.Rank] = n.Mem.Used()
 		return nil
 	})
 	if err != nil {

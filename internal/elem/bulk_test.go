@@ -1,0 +1,183 @@
+package elem
+
+import (
+	"bytes"
+	"math/rand/v2"
+	"testing"
+)
+
+// perElemEncode is the reference per-element encoding path, bypassing
+// any BulkCodec fast path.
+func perElemEncode[T any](c Codec[T], vs []T) []byte {
+	sz := c.Size()
+	buf := make([]byte, len(vs)*sz)
+	for i, v := range vs {
+		c.Encode(buf[i*sz:(i+1)*sz], v)
+	}
+	return buf
+}
+
+// perElemDecode is the reference per-element decoding path.
+func perElemDecode[T any](c Codec[T], buf []byte, n int) []T {
+	sz := c.Size()
+	out := make([]T, n)
+	for i := range out {
+		out[i] = c.Decode(buf[i*sz : (i+1)*sz])
+	}
+	return out
+}
+
+func checkBulkAgreement[T comparable](t *testing.T, c BulkCodec[T], vs []T) {
+	t.Helper()
+	ref := perElemEncode[T](c, vs)
+
+	bulk := make([]byte, len(vs)*c.Size())
+	c.EncodeSliceInto(bulk, vs)
+	if !bytes.Equal(bulk, ref) {
+		t.Fatalf("EncodeSliceInto disagrees with per-element encode (%d elements)", len(vs))
+	}
+	if got := EncodeSlice[T](c, vs); !bytes.Equal(got, ref) {
+		t.Fatalf("EncodeSlice (dispatched) disagrees with per-element encode")
+	}
+
+	dec := make([]T, len(vs))
+	c.DecodeSliceInto(dec, ref)
+	refDec := perElemDecode[T](c, ref, len(vs))
+	for i := range vs {
+		if dec[i] != vs[i] {
+			t.Fatalf("DecodeSliceInto round trip mismatch at %d", i)
+		}
+		if refDec[i] != vs[i] {
+			t.Fatalf("per-element decode round trip mismatch at %d", i)
+		}
+	}
+}
+
+func TestBulkCodecAgreesU64(t *testing.T) {
+	rng := rand.New(rand.NewPCG(3, 5))
+	for _, n := range []int{0, 1, 2, 7, 64, 1023} {
+		vs := make([]U64, n)
+		for i := range vs {
+			vs[i] = U64(rng.Uint64())
+		}
+		checkBulkAgreement[U64](t, U64Codec{}, vs)
+	}
+}
+
+func TestBulkCodecAgreesKV16(t *testing.T) {
+	rng := rand.New(rand.NewPCG(11, 13))
+	for _, n := range []int{0, 1, 2, 7, 64, 1023} {
+		vs := make([]KV16, n)
+		for i := range vs {
+			vs[i] = KV16{Key: rng.Uint64(), Val: rng.Uint64()}
+		}
+		checkBulkAgreement[KV16](t, KV16Codec{}, vs)
+	}
+}
+
+func TestBulkCodecAgreesRec100(t *testing.T) {
+	rng := rand.New(rand.NewPCG(17, 19))
+	for _, n := range []int{0, 1, 2, 7, 64, 257} {
+		vs := make([]Rec100, n)
+		for i := range vs {
+			for j := range vs[i] {
+				vs[i][j] = byte(rng.UintN(256))
+			}
+		}
+		checkBulkAgreement[Rec100](t, Rec100Codec{}, vs)
+	}
+}
+
+// Records whose 10-byte keys tie must still round-trip byte-for-byte:
+// the payload bytes distinguish them on the wire even though the order
+// does not.
+func TestBulkCodecRec100KeyTies(t *testing.T) {
+	c := Rec100Codec{}
+	vs := make([]Rec100, 16)
+	for i := range vs {
+		// Identical keys, distinct payloads.
+		for j := 0; j < 10; j++ {
+			vs[i][j] = 0xAB
+		}
+		for j := 10; j < 100; j++ {
+			vs[i][j] = byte(i*7 + j)
+		}
+	}
+	for i := 1; i < len(vs); i++ {
+		if c.Less(vs[i-1], vs[i]) || c.Less(vs[i], vs[i-1]) {
+			t.Fatal("test premise broken: keys must tie")
+		}
+	}
+	checkBulkAgreement[Rec100](t, c, vs)
+}
+
+// nonBulkCodec mirrors U64Codec without the BulkCodec methods, so the
+// dispatch helpers must take the per-element fallback — the
+// compatibility contract for third-party codecs.
+type nonBulkCodec struct{}
+
+func (nonBulkCodec) Size() int              { return 8 }
+func (nonBulkCodec) Encode(d []byte, v U64) { U64Codec{}.Encode(d, v) }
+func (nonBulkCodec) Decode(s []byte) U64    { return U64Codec{}.Decode(s) }
+func (nonBulkCodec) Less(a, b U64) bool     { return a < b }
+
+func TestDispatchFallbackMatchesBulk(t *testing.T) {
+	rng := rand.New(rand.NewPCG(23, 29))
+	vs := make([]U64, 333)
+	for i := range vs {
+		vs[i] = U64(rng.Uint64())
+	}
+	var fallback Codec[U64] = nonBulkCodec{}
+	if _, ok := fallback.(BulkCodec[U64]); ok {
+		t.Fatal("test premise broken: nonBulkCodec must not be a BulkCodec")
+	}
+	a := EncodeSlice[U64](U64Codec{}, vs)
+	b := EncodeSlice[U64](fallback, vs)
+	if !bytes.Equal(a, b) {
+		t.Fatal("fallback encode disagrees with bulk encode")
+	}
+	da := DecodeSlice[U64](U64Codec{}, a, len(vs))
+	db := DecodeSlice[U64](fallback, b, len(vs))
+	for i := range vs {
+		if da[i] != vs[i] || db[i] != vs[i] {
+			t.Fatalf("decode mismatch at %d", i)
+		}
+	}
+}
+
+// The bulk paths must be allocation-free given preallocated buffers.
+func TestBulkPathsAllocFree(t *testing.T) {
+	c := KV16Codec{}
+	vs := make([]KV16, 4096)
+	for i := range vs {
+		vs[i] = KV16{Key: uint64(i) * 2654435761, Val: uint64(i)}
+	}
+	buf := make([]byte, len(vs)*c.Size())
+	dst := make([]KV16, len(vs))
+
+	if n := testing.AllocsPerRun(100, func() { EncodeInto[KV16](c, buf, vs) }); n > 0 {
+		t.Errorf("EncodeInto allocates %.1f/op, want 0", n)
+	}
+	if n := testing.AllocsPerRun(100, func() { DecodeInto[KV16](c, dst, buf) }); n > 0 {
+		t.Errorf("DecodeInto allocates %.1f/op, want 0", n)
+	}
+	if n := testing.AllocsPerRun(100, func() {
+		dst = AppendDecode[KV16](c, dst[:0], buf, len(vs))
+	}); n > 0 {
+		t.Errorf("AppendDecode with capacity allocates %.1f/op, want 0", n)
+	}
+	enc := make([]byte, 0, len(vs)*c.Size())
+	if n := testing.AllocsPerRun(100, func() {
+		enc = AppendEncode[KV16](c, enc[:0], vs)
+	}); n > 0 {
+		t.Errorf("AppendEncode with capacity allocates %.1f/op, want 0", n)
+	}
+
+	// DecodeSlice/EncodeSlice allocate exactly their result.
+	if n := testing.AllocsPerRun(100, func() { _ = EncodeSlice[KV16](c, vs) }); n > 1 {
+		t.Errorf("EncodeSlice allocates %.1f/op, want <= 1", n)
+	}
+	if n := testing.AllocsPerRun(100, func() { _ = DecodeSlice[KV16](c, buf, len(vs)) }); n > 1 {
+		t.Errorf("DecodeSlice allocates %.1f/op, want <= 1", n)
+	}
+}

@@ -18,6 +18,7 @@ package elem
 import (
 	"bytes"
 	"encoding/binary"
+	"slices"
 )
 
 // Codec describes a fixed-size element type T: how to serialise it into
@@ -37,45 +38,41 @@ type Codec[T any] interface {
 	Less(a, b T) bool
 }
 
-// EncodeSlice encodes all of vs into a fresh byte slice.
+// EncodeSlice encodes all of vs into a fresh byte slice. Hot paths
+// should prefer EncodeInto with a pooled destination.
 func EncodeSlice[T any](c Codec[T], vs []T) []byte {
-	sz := c.Size()
-	buf := make([]byte, len(vs)*sz)
-	for i, v := range vs {
-		c.Encode(buf[i*sz:(i+1)*sz], v)
-	}
+	buf := make([]byte, len(vs)*c.Size())
+	EncodeInto(c, buf, vs)
 	return buf
 }
 
 // AppendEncode appends the encodings of vs to dst and returns the
-// extended slice.
+// extended slice. It is allocation-free when dst has spare capacity.
 func AppendEncode[T any](c Codec[T], dst []byte, vs []T) []byte {
 	sz := c.Size()
 	off := len(dst)
-	dst = append(dst, make([]byte, len(vs)*sz)...)
-	for i, v := range vs {
-		c.Encode(dst[off+i*sz:off+(i+1)*sz], v)
-	}
+	dst = slices.Grow(dst, len(vs)*sz)[:off+len(vs)*sz]
+	EncodeInto(c, dst[off:], vs)
 	return dst
 }
 
 // DecodeSlice decodes n elements from buf. It panics if buf is shorter
-// than n*Size() bytes.
+// than n*Size() bytes. Hot paths should prefer DecodeInto with a
+// reused destination.
 func DecodeSlice[T any](c Codec[T], buf []byte, n int) []T {
-	sz := c.Size()
 	out := make([]T, n)
-	for i := range out {
-		out[i] = c.Decode(buf[i*sz : (i+1)*sz])
-	}
+	DecodeInto(c, out, buf)
 	return out
 }
 
-// AppendDecode decodes n elements from buf, appending them to dst.
+// AppendDecode decodes n elements from buf into the spare capacity of
+// dst (growing it only when needed) and returns the extended slice —
+// the append-style bulk decode path, allocation-free once dst has
+// capacity.
 func AppendDecode[T any](c Codec[T], dst []T, buf []byte, n int) []T {
-	sz := c.Size()
-	for i := 0; i < n; i++ {
-		dst = append(dst, c.Decode(buf[i*sz:(i+1)*sz]))
-	}
+	off := len(dst)
+	dst = slices.Grow(dst, n)[:off+n]
+	DecodeInto(c, dst[off:], buf)
 	return dst
 }
 

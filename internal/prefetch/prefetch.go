@@ -45,8 +45,9 @@ func Naive(disks []int, d, w int) Schedule {
 	consumed := 0 // blocks 0..consumed-1 are out of the buffer
 	inBuf := 0
 	var steps [][]int
+	busy := make([]bool, d) // reused across steps: one allocation, cleared per round
 	for consumed < n {
-		busy := make([]bool, d)
+		clear(busy)
 		var step []int
 		// Greedy in prediction order over unfetched blocks.
 		for i := consumed; i < n && inBuf+len(step) < w; i++ {
@@ -134,8 +135,9 @@ func Valid(s Schedule, disks []int, d, w int) (bool, string) {
 	for i := range fetchStep {
 		fetchStep[i] = -1
 	}
+	busy := make([]bool, d) // reused across steps
 	for t, step := range s.Steps {
-		busy := make([]bool, d)
+		clear(busy)
 		for _, i := range step {
 			if i < 0 || i >= n {
 				return false, "block index out of range"

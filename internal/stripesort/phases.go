@@ -7,6 +7,7 @@ import (
 	"sort"
 
 	"demsort/internal/blockio"
+	"demsort/internal/bufpool"
 	"demsort/internal/cluster"
 	"demsort/internal/dselect"
 	"demsort/internal/elem"
@@ -25,15 +26,19 @@ func runPE[T any](c elem.Codec[T], n *cluster.Node, cfg *Config, bElem, bpr int,
 		len int
 	}
 	var inBlocks []inBlock
+	loadEnc := bufpool.Get(bElem * sz)
 	for off := 0; off < len(myInput); off += bElem {
 		hi := off + bElem
 		if hi > len(myInput) {
 			hi = len(myInput)
 		}
 		id := n.Vol.Alloc()
-		n.Vol.WriteAsync(id, elem.EncodeSlice(c, myInput[off:hi]))
+		eb := loadEnc[:(hi-off)*sz]
+		elem.EncodeInto(c, eb, myInput[off:hi])
+		n.Vol.WriteAsync(id, eb)
 		inBlocks = append(inBlocks, inBlock{id, hi - off})
 	}
+	bufpool.Put(loadEnc)
 	n.Vol.Drain()
 	n.Barrier()
 
@@ -59,7 +64,7 @@ func runPE[T any](c elem.Codec[T], n *cluster.Node, cfg *Config, bElem, bpr int,
 	stored := make([][]runBlock, runs)
 	runLens := make([]int64, runs)
 
-	raw := make([]byte, cfg.BlockBytes)
+	raw := bufpool.Get(cfg.BlockBytes)
 	for r := 0; r < runs; r++ {
 		lo := r * bpr
 		var chunk []T
@@ -95,7 +100,9 @@ func runPE[T any](c elem.Codec[T], n *cluster.Node, cfg *Config, bElem, bpr int,
 			if q < n.P-1 {
 				qhi = cuts[q]
 			}
-			send[q] = elem.EncodeSlice(c, chunk[qlo:qhi])
+			sb := bufpool.Get(int(qhi-qlo) * sz)
+			elem.EncodeInto(c, sb, chunk[qlo:qhi])
+			send[q] = sb
 		}
 		n.Clock.AddCPU(cfg.Model.ScanCPU(int64(len(chunk))))
 		chunkLen := int64(len(chunk))
@@ -109,6 +116,7 @@ func runPE[T any](c elem.Codec[T], n *cluster.Node, cfg *Config, bElem, bpr int,
 		for q := 0; q < n.P; q++ {
 			pieces[q] = elem.DecodeSlice(c, recv[q], len(recv[q])/sz)
 		}
+		cluster.RecycleRecv(recv)
 		merged := xmerge.Merge(c, pieces)
 		n.Clock.AddCPU(cfg.Model.MergeCPU(segLen, n.P) + cfg.Model.ScanCPU(segLen))
 		if int64(len(merged)) != segLen {
@@ -152,8 +160,6 @@ func runPE[T any](c elem.Codec[T], n *cluster.Node, cfg *Config, bElem, bpr int,
 				g := int64(binary.LittleEndian.Uint64(buf[:8]))
 				off := int(binary.LittleEndian.Uint32(buf[8:12]))
 				cnt := int(binary.LittleEndian.Uint32(buf[12:16]))
-				vals := elem.DecodeSlice(c, buf[16:], cnt)
-				buf = buf[16+cnt*sz:]
 				a := blocks[g]
 				if a == nil {
 					bLo := g * int64(bElem)
@@ -164,10 +170,13 @@ func runPE[T any](c elem.Codec[T], n *cluster.Node, cfg *Config, bElem, bpr int,
 					a = &asm{data: make([]T, bHi-bLo), total: int(bHi - bLo)}
 					blocks[g] = a
 				}
-				copy(a.data[off:], vals)
+				// Decode straight into the assembly slot — no staging copy.
+				elem.DecodeInto(c, a.data[off:off+cnt], buf[16:16+cnt*sz])
+				buf = buf[16+cnt*sz:]
 				a.filled += cnt
 			}
 		}
+		cluster.RecycleRecv(stripeRecv)
 		var myBlocks []int64
 		for g := range blocks {
 			myBlocks = append(myBlocks, g)
@@ -179,7 +188,9 @@ func runPE[T any](c elem.Codec[T], n *cluster.Node, cfg *Config, bElem, bpr int,
 				return nil, fmt.Errorf("stripesort: run %d block %d assembled %d/%d", r, g, a.filled, a.total)
 			}
 			id := n.Vol.Alloc()
-			n.Vol.WriteAsync(id, elem.EncodeSlice(c, a.data))
+			eb := raw[:len(a.data)*sz]
+			elem.EncodeInto(c, eb, a.data)
+			n.Vol.WriteAsync(id, eb)
 			stored[r] = append(stored[r], runBlock{blk: g, id: id, len: a.total, first: a.data[0]})
 		}
 		n.Clock.AddCPU(cfg.Model.ScanCPU(segLen))
@@ -188,6 +199,7 @@ func runPE[T any](c elem.Codec[T], n *cluster.Node, cfg *Config, bElem, bpr int,
 			n.Vol.Drain()
 		}
 	}
+	bufpool.Put(raw)
 	n.Vol.Drain()
 
 	// Build the global prediction sequence: the first key of every
@@ -310,7 +322,7 @@ func runPE[T any](c elem.Codec[T], n *cluster.Node, cfg *Config, bElem, bpr int,
 				continue
 			}
 			rb := myIdx[[2]int64{int64(e.run), e.blk}]
-			f := fetched{e: e, rb: rb, raw: make([]byte, rb.len*sz)}
+			f := fetched{e: e, rb: rb, raw: bufpool.Get(rb.len * sz)}
 			f.handle = n.Vol.ReadAsync(rb.id, f.raw)
 			if !cfg.Overlap {
 				n.Vol.Wait(f.handle)
@@ -320,6 +332,7 @@ func runPE[T any](c elem.Codec[T], n *cluster.Node, cfg *Config, bElem, bpr int,
 		for _, f := range fs {
 			n.Vol.Wait(f.handle)
 			vals := elem.DecodeSlice(c, f.raw, f.rb.len)
+			bufpool.Put(f.raw)
 			n.Mem.MustAcquire(int64(len(vals)))
 			pending[f.e.run] = append(pending[f.e.run], piece{pos: f.e.blk * int64(bElem), elems: vals})
 			n.Vol.Free(f.rb.id)
@@ -385,7 +398,9 @@ func runPE[T any](c elem.Codec[T], n *cluster.Node, cfg *Config, bElem, bpr int,
 				if q < n.P-1 {
 					qhi = cuts[q]
 				}
-				send[q] = elem.EncodeSlice(c, chunk[qlo:qhi])
+				sb := bufpool.Get(int(qhi-qlo) * sz)
+				elem.EncodeInto(c, sb, chunk[qlo:qhi])
+				send[q] = sb
 			}
 			recv := n.AllToAllv(send)
 			var pieceLen int64
@@ -397,6 +412,7 @@ func runPE[T any](c elem.Codec[T], n *cluster.Node, cfg *Config, bElem, bpr int,
 			for q := 0; q < n.P; q++ {
 				ps[q] = elem.DecodeSlice(c, recv[q], len(recv[q])/sz)
 			}
+			cluster.RecycleRecv(recv)
 			merged := xmerge.Merge(c, ps)
 			n.Clock.AddCPU(cfg.Model.MergeCPU(pieceLen, n.P) + 2*cfg.Model.ScanCPU(pieceLen))
 
@@ -429,15 +445,14 @@ func runPE[T any](c elem.Codec[T], n *cluster.Node, cfg *Config, bElem, bpr int,
 					o := int64(binary.LittleEndian.Uint64(buf[:8]))
 					off := int(binary.LittleEndian.Uint32(buf[8:12]))
 					cnt := int(binary.LittleEndian.Uint32(buf[12:16]))
-					vals := elem.DecodeSlice(c, buf[16:], cnt)
-					buf = buf[16+cnt*sz:]
 					a := outAsm[o]
 					if a == nil {
 						a = newOutAsm[T](bElem)
 						n.Mem.MustAcquire(int64(bElem))
 						outAsm[o] = a
 					}
-					copy(a.data[off:], vals)
+					elem.DecodeInto(c, a.data[off:off+cnt], buf[16:16+cnt*sz])
+					buf = buf[16+cnt*sz:]
 					a.filled += cnt
 					if a.filled == bElem {
 						writeOut(c, n, st, cfg, o, a.data)
@@ -446,6 +461,7 @@ func runPE[T any](c elem.Codec[T], n *cluster.Node, cfg *Config, bElem, bpr int,
 					}
 				}
 			}
+			cluster.RecycleRecv(outRecv)
 			outCur += emitTotal
 			n.Mem.Release(2 * pieceLen)
 		}
@@ -458,6 +474,7 @@ func runPE[T any](c elem.Codec[T], n *cluster.Node, cfg *Config, bElem, bpr int,
 		writeOut(c, n, st, cfg, o, a.data[:a.filled])
 		n.Mem.Release(int64(bElem))
 	}
+	n.Mem.Release(int64(len(pred))) // prediction table dead after the merge
 	n.Vol.Drain()
 	n.Barrier()
 	n.Clock.SetPhase("collect")
@@ -476,7 +493,10 @@ func newOutAsm[T any](bElem int) *outAsm[T] {
 // writeOut persists one striped output block and records it.
 func writeOut[T any](c elem.Codec[T], n *cluster.Node, st *peState[T], cfg *Config, o int64, data []T) {
 	id := n.Vol.Alloc()
-	n.Vol.WriteAsync(id, elem.EncodeSlice(c, data))
+	enc := bufpool.Get(len(data) * c.Size())
+	elem.EncodeInto(c, enc, data)
+	n.Vol.WriteAsync(id, enc)
+	bufpool.Put(enc)
 	st.outBlocks = append(st.outBlocks, stripedBlock{id: id, len: len(data)})
 	if cfg.KeepOutput {
 		kept := make([]T, len(data))
