@@ -20,6 +20,7 @@ import (
 	"sort"
 
 	"demsort/internal/blockio"
+	"demsort/internal/bufpool"
 	"demsort/internal/cluster"
 	"demsort/internal/elem"
 	"demsort/internal/pq"
@@ -54,7 +55,7 @@ func DefaultConfig(p int, memElems int64, blockBytes int) Config {
 		MemElems:    memElems,
 		Oversample:  32,
 		Seed:        1,
-		RealWorkers: 1,
+		RealWorkers: psort.DefaultWorkers(),
 		Model:       vtime.Default(),
 	}
 }
@@ -306,9 +307,13 @@ func SampleSort[T any](c elem.Codec[T], cfg Config, input [][]T) (*Result[T], er
 }
 
 // mergeRuns k-way merges sorted on-disk runs, reading and writing each
-// element once, and returns the decoded output when KeepOutput.
+// element once, and returns the decoded output when KeepOutput. Like
+// the core final merge it runs block-at-a-time on the key-inline
+// tournament tree: normalized uint64 keys in the replay loop, the
+// comparator only on equal prefix keys.
 func mergeRuns[T any](c elem.Codec[T], n *cluster.Node, cfg Config, runs [][]blockio.BlockID, runLens [][]int, bElem int) ([]T, error) {
 	sz := c.Size()
+	key, exact := elem.KeyFn(c)
 	type stream struct {
 		ids  []blockio.BlockID
 		lens []int
@@ -321,60 +326,69 @@ func mergeRuns[T any](c elem.Codec[T], n *cluster.Node, cfg Config, runs [][]blo
 		if s.next >= len(s.ids) {
 			return false
 		}
-		raw := make([]byte, s.lens[s.next]*sz)
+		raw := bufpool.Get(s.lens[s.next] * sz)
 		n.Vol.ReadWait(s.ids[s.next], raw)
-		s.cur = elem.DecodeSlice(c, raw, s.lens[s.next])
+		s.cur = elem.AppendDecode(c, s.cur[:0], raw, s.lens[s.next])
+		bufpool.Put(raw)
 		n.Vol.Free(s.ids[s.next])
 		s.pos = 0
 		s.next++
 		return true
 	}
+	if len(runs) == 0 {
+		return out, nil
+	}
 	streams := make([]*stream, len(runs))
-	heads := make([]T, len(runs))
+	keys := make([]uint64, len(runs))
 	live := make([]bool, len(runs))
 	for i := range runs {
 		streams[i] = &stream{ids: runs[i], lens: runLens[i]}
 		if fill(streams[i]) {
-			heads[i] = streams[i].cur[0]
-			streams[i].pos = 1
+			keys[i] = key(streams[i].cur[0])
 			live[i] = true
 		}
 	}
-	if len(runs) == 0 {
-		return out, nil
+	var tie func(a, b int) bool
+	if !exact {
+		tie = func(a, b int) bool {
+			sa, sb := streams[a], streams[b]
+			return c.Less(sa.cur[sa.pos], sb.cur[sb.pos])
+		}
 	}
-	lt := pq.NewLoserTree(len(runs), heads, live, c.Less)
+	lt := pq.NewKeyTree(len(runs), keys, live, tie)
 	outBuf := make([]T, 0, bElem)
-	var produced int64
 	flush := func() {
 		if len(outBuf) == 0 {
 			return
 		}
 		id := n.Vol.Alloc()
-		n.Vol.WriteAsync(id, elem.EncodeSlice(c, outBuf))
+		enc := bufpool.Get(len(outBuf) * sz)
+		elem.EncodeInto(c, enc, outBuf)
+		n.Vol.WriteAsync(id, enc)
+		bufpool.Put(enc)
 		if cfg.KeepOutput {
 			out = append(out, outBuf...)
 		}
 		outBuf = outBuf[:0]
 	}
 	for !lt.Empty() {
-		v, i := lt.Min()
-		outBuf = append(outBuf, v)
-		produced++
+		i := lt.Win()
+		s := streams[i]
+		outBuf = append(outBuf, s.cur[s.pos])
+		s.pos++
 		if len(outBuf) == bElem {
 			flush()
 			n.Clock.AddCPU(cfg.Model.MergeCPU(int64(bElem), len(runs)) + cfg.Model.ScanCPU(int64(bElem)))
 		}
-		s := streams[i]
-		if s.pos >= len(s.cur) && !fill(s) {
+		if s.pos < len(s.cur) {
+			lt.Replace(key(s.cur[s.pos]))
+		} else if fill(s) {
+			lt.Replace(key(s.cur[0]))
+		} else {
 			lt.Retire()
-			continue
 		}
-		lt.Replace(s.cur[s.pos])
-		s.pos++
 	}
 	flush()
-	_ = produced
 	return out, nil
 }
 

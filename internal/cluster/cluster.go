@@ -479,7 +479,6 @@ func (n *Node) Send(dst, tag int, payload []byte) {
 	st := n.Clock.Cur()
 	st.NetTime += dur
 	st.BytesSent += int64(len(payload))
-	st.Messages++
 	arrival := n.Clock.Now() + dur + model.NetLatency
 	n.m.p2p[n.Rank*n.P+dst] <- message{tag: tag, payload: payload, arrival: arrival}
 }
@@ -497,5 +496,10 @@ func (n *Node) Recv(src, tag int) []byte {
 	n.Clock.AdvanceTo(msg.arrival)
 	st := n.Clock.Cur()
 	st.BytesRecv += int64(len(msg.payload))
+	// Count the message on the receive side, matching the collectives
+	// (AllToAllv/AllGather/Bcast all count incoming messages only);
+	// Send deliberately does not count, or every p2p message would be
+	// double-counted relative to collective traffic.
+	st.Messages++
 	return msg.payload
 }

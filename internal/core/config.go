@@ -24,6 +24,7 @@ import (
 	"fmt"
 
 	"demsort/internal/blockio"
+	"demsort/internal/psort"
 	"demsort/internal/vtime"
 )
 
@@ -73,7 +74,11 @@ type Config struct {
 	SingleRunOpt bool
 	// RealWorkers is the number of goroutines used for genuine
 	// in-node sorting work (virtual CPU time always models
-	// Model.Cores cores).
+	// Model.Cores cores). DefaultConfig sets it to GOMAXPROCS clamped
+	// to 8; set 1 explicitly for runs that must be byte-reproducible
+	// across machines with different core counts (psort output is
+	// stable for any worker count, but pinning removes all doubt in
+	// determinism-sensitive tests).
 	RealWorkers int
 	// KeepOutput retains the sorted output so Result.Output can read
 	// it back (tests); production callers stream it from the volumes.
@@ -97,7 +102,7 @@ func DefaultConfig(p int, memElems int64, blockBytes int) Config {
 		Seed:         1,
 		Overlap:      true,
 		SingleRunOpt: true,
-		RealWorkers:  1,
+		RealWorkers:  psort.DefaultWorkers(),
 		Model:        vtime.Default(),
 	}
 }

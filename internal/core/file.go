@@ -79,9 +79,20 @@ func (w *writer[T]) add(v T) {
 	}
 }
 
-// addSlice appends many elements.
+// addSlice appends many elements. Whole blocks arriving on an empty
+// tail buffer are encoded straight from vs — the block-at-a-time merge
+// loop hits this path for every full output block, paying no staging
+// copy.
 func (w *writer[T]) addSlice(vs []T) {
 	for len(vs) > 0 {
+		if len(w.buf) == 0 && len(vs) >= w.bElem {
+			id := w.vol.Alloc()
+			w.enc = elem.AppendEncode(w.c, w.enc[:0], vs[:w.bElem])
+			w.vol.WriteAsync(id, w.enc)
+			w.file.Append(Extent{ID: id, Off: 0, Len: w.bElem, Own: true})
+			vs = vs[w.bElem:]
+			continue
+		}
 		space := w.bElem - len(w.buf)
 		take := len(vs)
 		if take > space {
@@ -229,6 +240,24 @@ func (r *reader[T]) advance() {
 	// Swap buffers so the next prefetch does not overwrite cur...
 	// cur was decoded already, so the raw buffer is reusable.
 	r.prefetch()
+}
+
+// nextBlock returns the unconsumed remainder of the current decoded
+// extent, advancing to the next extent when the current one is used
+// up; nil at end of file. The returned slice is only valid until the
+// following nextBlock call (the decode buffer is reused), so callers
+// must consume it fully before asking again — the contract of the
+// block-at-a-time merge loops.
+func (r *reader[T]) nextBlock() []T {
+	for r.pos >= len(r.cur) {
+		if r.cur == nil {
+			return nil
+		}
+		r.advance()
+	}
+	blk := r.cur[r.pos:]
+	r.pos = len(r.cur)
+	return blk
 }
 
 // next returns the next element; ok=false at end of file.

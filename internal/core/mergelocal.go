@@ -13,6 +13,13 @@ import (
 // and deallocated as soon as they are consumed, so the output can
 // recycle them — the (nearly) in-place operation of §IV-E.
 //
+// The merge runs block-at-a-time on the key-inline tournament tree:
+// each stream exposes its current decoded extent as a slice, the tree
+// replays on normalized uint64 keys (comparator fallback only on equal
+// prefix keys), and output accumulates in a block-sized buffer that is
+// bulk-encoded per flush — decode → merge → encode over slices, never
+// element-at-a-time through reader/writer calls.
+//
 // With a single run the piece already is the sorted output and the
 // phase costs no I/O at all; together with run formation that gives
 // the "only 2 I/Os per block" behaviour the paper notes for N < M
@@ -31,37 +38,60 @@ func mergeLocal[T any](c elem.Codec[T], n *cluster.Node, cfg *Config, d derived,
 		defer n.Mem.Release(int64(2*r+1) * int64(d.bElem))
 	}
 
+	key, exact := elem.KeyFn(c)
+	type stream struct {
+		cur []T
+		pos int
+	}
 	readers := make([]*reader[T], r)
-	heads := make([]T, r)
+	srcs := make([]stream, r)
+	keys := make([]uint64, r)
 	live := make([]bool, r)
 	for i, f := range files {
 		readers[i] = newReader(c, n.Vol, f, true, cfg.Overlap)
-		if v, ok := readers[i].next(); ok {
-			heads[i], live[i] = v, true
+		if blk := readers[i].nextBlock(); len(blk) > 0 {
+			srcs[i].cur = blk
+			keys[i] = key(blk[0])
+			live[i] = true
 		}
 	}
-	lt := pq.NewLoserTree(r, heads, live, c.Less)
-	w := newWriter(c, n.Vol)
-	var sinceCPU int64
-	for !lt.Empty() {
-		v, i := lt.Min()
-		w.add(v)
-		sinceCPU++
-		if sinceCPU == int64(d.bElem) {
-			n.Clock.AddCPU(cfg.Model.MergeCPU(sinceCPU, r) + cfg.Model.ScanCPU(sinceCPU))
-			sinceCPU = 0
+	var tie func(a, b int) bool
+	if !exact {
+		tie = func(a, b int) bool {
+			return c.Less(srcs[a].cur[srcs[a].pos], srcs[b].cur[srcs[b].pos])
 		}
-		if nv, ok := readers[i].next(); ok {
-			lt.Replace(nv)
+	}
+	lt := pq.NewKeyTree(r, keys, live, tie)
+	w := newWriter(c, n.Vol)
+	out := make([]T, 0, d.bElem)
+	flush := func() {
+		if len(out) == 0 {
+			return
+		}
+		w.addSlice(out)
+		n.Clock.AddCPU(cfg.Model.MergeCPU(int64(len(out)), r) + cfg.Model.ScanCPU(int64(len(out))))
+		out = out[:0]
+	}
+	for !lt.Empty() {
+		i := lt.Win()
+		s := &srcs[i]
+		out = append(out, s.cur[s.pos])
+		s.pos++
+		if len(out) == d.bElem {
+			flush()
+		}
+		if s.pos < len(s.cur) {
+			lt.Replace(key(s.cur[s.pos]))
+		} else if blk := readers[i].nextBlock(); len(blk) > 0 {
+			s.cur, s.pos = blk, 0
+			lt.Replace(key(blk[0]))
 		} else {
 			lt.Retire()
 		}
 	}
-	if sinceCPU > 0 {
-		n.Clock.AddCPU(cfg.Model.MergeCPU(sinceCPU, r) + cfg.Model.ScanCPU(sinceCPU))
-	}
-	out := w.finish()
+	flush()
+	outFile := w.finish()
 	n.Vol.Drain()
 	n.Barrier()
-	return out, nil
+	return outFile, nil
 }

@@ -129,8 +129,49 @@ func TestSortSingleRunRegime(t *testing.T) {
 	}
 }
 
+// closureKV16 is KV16's order without the KeyedCodec extension: the
+// whole pipeline must work through the comparator fallback alone.
+type closureKV16 struct{}
+
+func (closureKV16) Size() int                    { return 16 }
+func (closureKV16) Encode(d []byte, v elem.KV16) { elem.KV16Codec{}.Encode(d, v) }
+func (closureKV16) Decode(s []byte) elem.KV16    { return elem.KV16Codec{}.Decode(s) }
+func (closureKV16) Less(a, b elem.KV16) bool     { return a.Key < b.Key }
+
+// TestSortClosureOnlyCodec runs the full sort with a codec that has no
+// normalized key: run formation, selection, exchange and the final
+// merge all take the comparator fallback and must still produce the
+// canonical sorted output.
+func TestSortClosureOnlyCodec(t *testing.T) {
+	cfg := testConfig(4)
+	input := inputFor(cfg, workload.Uniform, 5500, 3)
+	res, err := Sort[elem.KV16](closureKV16{}, cfg, input)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := res.Validate(closureKV16{}, input); err != nil {
+		t.Fatal(err)
+	}
+	// The fallback must agree with the keyed plane element-for-element.
+	keyed, err := Sort[elem.KV16](kvc, cfg, input)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for pe := range res.Output {
+		if len(res.Output[pe]) != len(keyed.Output[pe]) {
+			t.Fatalf("PE %d: fallback and keyed output sizes differ", pe)
+		}
+		for i := range res.Output[pe] {
+			if res.Output[pe][i] != keyed.Output[pe][i] {
+				t.Fatalf("PE %d index %d: fallback and keyed outputs differ", pe, i)
+			}
+		}
+	}
+}
+
 func TestSortDeterministic(t *testing.T) {
 	cfg := testConfig(4)
+	cfg.RealWorkers = 1 // pin: byte-reproducibility must not depend on the host
 	input := inputFor(cfg, workload.Uniform, 6000, 5)
 	a, err := Sort[elem.KV16](kvc, cfg, input)
 	if err != nil {

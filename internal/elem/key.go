@@ -1,0 +1,65 @@
+package elem
+
+import "encoding/binary"
+
+// KeyedCodec is an optional extension of Codec: an order-preserving
+// 64-bit normalized key. Sorting and merging on integer keys instead of
+// comparator closures is the super-scalar trick of key-caching sorters
+// (Bingmann's string sorting, MCSTL's multiway merge): the hot loops
+// compare raw uint64s and fall back to Less only on equal keys.
+//
+// The contract is that unsigned key order is a coarsening of the codec
+// order:
+//
+//	Key(a) <  Key(b)  ⇒  Less(a, b)
+//	Less(a, b)        ⇒  Key(a) <= Key(b)
+//
+// KeyExact additionally promises that the key decides everything:
+// equal keys mean equivalent elements (neither Less(a,b) nor
+// Less(b,a)), so no comparator fallback is ever needed.
+type KeyedCodec[T any] interface {
+	Codec[T]
+	// Key returns the order-preserving 64-bit key of v.
+	Key(v T) uint64
+	// KeyExact reports whether equal keys imply equivalent elements.
+	KeyExact() bool
+}
+
+// Key implements KeyedCodec: a U64 is its own key.
+func (U64Codec) Key(v U64) uint64 { return uint64(v) }
+
+// KeyExact implements KeyedCodec.
+func (U64Codec) KeyExact() bool { return true }
+
+// Key implements KeyedCodec: the 64-bit key orders KV16 completely.
+func (KV16Codec) Key(v KV16) uint64 { return v.Key }
+
+// KeyExact implements KeyedCodec.
+func (KV16Codec) KeyExact() bool { return true }
+
+// Key implements KeyedCodec: the first 8 of the 10 key bytes,
+// big-endian so unsigned integer order equals byte-lexicographic
+// order. The 2-byte tail is not covered, so KeyExact is false and
+// equal keys tie-break through Less.
+func (Rec100Codec) Key(v Rec100) uint64 { return binary.BigEndian.Uint64(v[:8]) }
+
+// KeyExact implements KeyedCodec.
+func (Rec100Codec) KeyExact() bool { return false }
+
+// Interface conformance.
+var (
+	_ KeyedCodec[U64]    = U64Codec{}
+	_ KeyedCodec[KV16]   = KV16Codec{}
+	_ KeyedCodec[Rec100] = Rec100Codec{}
+)
+
+// KeyFn returns c's normalized key function and whether key order is
+// exact. Non-keyed codecs get the constant-zero key: every comparison
+// then falls through to the Less tie-break, which is exactly the old
+// comparator-only behaviour.
+func KeyFn[T any](c Codec[T]) (key func(T) uint64, exact bool) {
+	if kc, ok := c.(KeyedCodec[T]); ok {
+		return kc.Key, kc.KeyExact()
+	}
+	return func(T) uint64 { return 0 }, false
+}

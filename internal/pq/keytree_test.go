@@ -1,0 +1,194 @@
+package pq
+
+import (
+	"math/rand/v2"
+	"slices"
+	"testing"
+)
+
+// mergeWithKeyTree drains k sorted uint64 streams through a KeyTree,
+// returning (value, stream) pairs in emission order.
+func mergeWithKeyTree(seqs [][]uint64, tie func(a, b int) bool) (vals []uint64, srcs []int) {
+	k := len(seqs)
+	keys := make([]uint64, k)
+	live := make([]bool, k)
+	pos := make([]int, k)
+	for i, s := range seqs {
+		if len(s) > 0 {
+			keys[i] = s[0]
+			live[i] = true
+		}
+	}
+	t := NewKeyTree(k, keys, live, tie)
+	for !t.Empty() {
+		i := t.Win()
+		vals = append(vals, seqs[i][pos[i]])
+		srcs = append(srcs, i)
+		pos[i]++
+		if pos[i] < len(seqs[i]) {
+			t.Replace(seqs[i][pos[i]])
+		} else {
+			t.Retire()
+		}
+	}
+	return vals, srcs
+}
+
+// TestKeyTreeVsHeapDuplicateHeavy cross-checks the key tree against
+// the binary heap on duplicate-heavy streams: same multiset out, same
+// (value, stream-index) emission order — the heap is ordered by
+// (value, stream) exactly like the tree's tie rule.
+func TestKeyTreeVsHeapDuplicateHeavy(t *testing.T) {
+	rng := rand.New(rand.NewPCG(7, 9))
+	for _, k := range []int{1, 2, 3, 4, 7, 16, 33} {
+		seqs := make([][]uint64, k)
+		for i := range seqs {
+			n := int(rng.Uint64N(200))
+			seqs[i] = make([]uint64, n)
+			for j := range seqs[i] {
+				seqs[i][j] = rng.Uint64N(5) // ~n/5 copies of each value
+			}
+			slices.Sort(seqs[i])
+		}
+		gotV, gotS := mergeWithKeyTree(seqs, nil)
+
+		type hent struct {
+			v   uint64
+			src int
+			pos int
+		}
+		h := NewHeap(func(a, b hent) bool {
+			if a.v != b.v {
+				return a.v < b.v
+			}
+			return a.src < b.src
+		})
+		for i, s := range seqs {
+			if len(s) > 0 {
+				h.Push(hent{v: s[0], src: i})
+			}
+		}
+		var wantV []uint64
+		var wantS []int
+		for h.Len() > 0 {
+			e := h.Pop()
+			wantV = append(wantV, e.v)
+			wantS = append(wantS, e.src)
+			if e.pos+1 < len(seqs[e.src]) {
+				h.Push(hent{v: seqs[e.src][e.pos+1], src: e.src, pos: e.pos + 1})
+			}
+		}
+		if !slices.Equal(gotV, wantV) || !slices.Equal(gotS, wantS) {
+			t.Fatalf("k=%d: key tree and heap disagree", k)
+		}
+	}
+}
+
+// TestKeyTreeMatchesLoserTree cross-checks against the generic
+// comparator tree on random streams including the dead-key sentinel
+// value ^0 as a live key.
+func TestKeyTreeMatchesLoserTree(t *testing.T) {
+	rng := rand.New(rand.NewPCG(11, 5))
+	for _, k := range []int{2, 5, 9, 17} {
+		seqs := make([][]uint64, k)
+		for i := range seqs {
+			n := int(rng.Uint64N(60))
+			seqs[i] = make([]uint64, n)
+			for j := range seqs[i] {
+				switch rng.Uint64N(8) {
+				case 0:
+					seqs[i][j] = ^uint64(0) // collides with the sentinel
+				case 1:
+					seqs[i][j] = 0
+				default:
+					seqs[i][j] = rng.Uint64()
+				}
+			}
+			slices.Sort(seqs[i])
+		}
+		gotV, gotS := mergeWithKeyTree(seqs, nil)
+
+		heads := make([]uint64, k)
+		live := make([]bool, k)
+		pos := make([]int, k)
+		for i, s := range seqs {
+			if len(s) > 0 {
+				heads[i] = s[0]
+				live[i] = true
+				pos[i] = 1
+			}
+		}
+		lt := NewLoserTree(k, heads, live, func(a, b uint64) bool { return a < b })
+		var wantV []uint64
+		var wantS []int
+		for !lt.Empty() {
+			v, i := lt.Min()
+			wantV = append(wantV, v)
+			wantS = append(wantS, i)
+			if pos[i] < len(seqs[i]) {
+				lt.Replace(seqs[i][pos[i]])
+				pos[i]++
+			} else {
+				lt.Retire()
+			}
+		}
+		if !slices.Equal(gotV, wantV) || !slices.Equal(gotS, wantS) {
+			t.Fatalf("k=%d: key tree and loser tree disagree", k)
+		}
+	}
+}
+
+// TestKeyTreeTieCallback drives the comparator fallback: all keys
+// equal, a tie callback that inverts the index order.
+func TestKeyTreeTieCallback(t *testing.T) {
+	rank := []int{2, 0, 1} // stream 1 first, then 2, then 0
+	tie := func(a, b int) bool { return rank[a] < rank[b] }
+	tr := NewKeyTree(3, []uint64{5, 5, 5}, []bool{true, true, true}, tie)
+	var order []int
+	for !tr.Empty() {
+		order = append(order, tr.Win())
+		tr.Retire()
+	}
+	if !slices.Equal(order, []int{1, 2, 0}) {
+		t.Fatalf("tie callback ignored: emission order %v", order)
+	}
+}
+
+func TestKeyTreeRevive(t *testing.T) {
+	tr := NewKeyTree(2, []uint64{5, 10}, []bool{true, true}, nil)
+	if tr.Win() != 0 || tr.WinKey() != 5 {
+		t.Fatalf("got (%d,%d)", tr.Win(), tr.WinKey())
+	}
+	tr.Retire() // stream 0 pauses at a batch boundary
+	if tr.Win() != 1 || tr.WinKey() != 10 {
+		t.Fatalf("got (%d,%d)", tr.Win(), tr.WinKey())
+	}
+	tr.Revive(0, 6)
+	if tr.Win() != 0 || tr.WinKey() != 6 {
+		t.Fatalf("after revive got (%d,%d)", tr.Win(), tr.WinKey())
+	}
+}
+
+func TestKeyTreeResetReuses(t *testing.T) {
+	tr := NewKeyTree(8, make([]uint64, 8), []bool{true, true, true, true, true, true, true, true}, nil)
+	for !tr.Empty() {
+		tr.Retire()
+	}
+	// Reset to a smaller live configuration; state must not leak.
+	tr.Reset(3, []uint64{3, 1, 2}, []bool{true, true, true}, nil)
+	var got []uint64
+	for !tr.Empty() {
+		got = append(got, tr.WinKey())
+		tr.Retire()
+	}
+	if !slices.Equal(got, []uint64{1, 2, 3}) {
+		t.Fatalf("after reset: %v", got)
+	}
+}
+
+func TestKeyTreeAllEmpty(t *testing.T) {
+	tr := NewKeyTree(4, make([]uint64, 4), make([]bool, 4), nil)
+	if !tr.Empty() {
+		t.Error("expected empty tree when no stream is live")
+	}
+}

@@ -6,14 +6,16 @@
 // "Hierarchical Parallelism"): sort core-local chunks, split them
 // exactly with multiway selection, and merge the parts in parallel.
 //
-// For a fixed worker count the result is deterministic (chunk sorts
-// are stable and ties across chunks break by chunk index); the ordering
-// of equal keys may differ between worker counts, like any parallel
-// comparison sort.
+// The result equals a stable sort under the codec order regardless of
+// worker count: chunk sorts are stable (LSD radix on normalized keys
+// carries the original index; the comparison fallback is a stable
+// sort), the multiway selection breaks ties by (chunk, position), and
+// the part merges break ties by chunk index — together that reproduces
+// the original order of equal elements exactly.
 package psort
 
 import (
-	"slices"
+	"runtime"
 	"sync"
 
 	"demsort/internal/elem"
@@ -21,14 +23,36 @@ import (
 	"demsort/internal/xmerge"
 )
 
+// DefaultWorkers returns the default in-node sorting parallelism:
+// GOMAXPROCS clamped to 8 (the paper's nodes have 8 cores, and every
+// simulated PE runs its own sort — an unclamped fan-out of P×cores
+// goroutines oversubscribes the host without helping).
+func DefaultWorkers() int {
+	w := runtime.GOMAXPROCS(0)
+	if w > 8 {
+		w = 8
+	}
+	if w < 1 {
+		w = 1
+	}
+	return w
+}
+
 // Sort sorts vs in place using up to workers goroutines. workers <= 1
-// falls back to a sequential sort.
+// falls back to a sequential sort. Key-normalized codecs
+// (elem.KeyedCodec) take the radix path (radix.go); closure-only
+// codecs use a stable comparison sort. Either way the result equals a
+// stable sort under the codec order, for every worker count.
 func Sort[T any](c elem.Codec[T], vs []T, workers int) {
 	n := len(vs)
 	if workers <= 1 || n < 4*workers || n < 1024 {
-		slices.SortStableFunc(vs, cmp(c))
+		sortChunk(c, vs, nil)
 		return
 	}
+	// The merge scratch doubles as the radix permute buffer: chunk w
+	// sorts vs[lo:hi] with out[lo:hi] as scratch, and after the sorts
+	// complete the same buffer receives the merged parts.
+	out := make([]T, n)
 	// 1. Sort `workers` chunks concurrently.
 	chunks := make([][]T, workers)
 	var wg sync.WaitGroup
@@ -37,10 +61,10 @@ func Sort[T any](c elem.Codec[T], vs []T, workers int) {
 		hi := n * (w + 1) / workers
 		chunks[w] = vs[lo:hi]
 		wg.Add(1)
-		go func(part []T) {
+		go func(part, tmp []T) {
 			defer wg.Done()
-			slices.SortStableFunc(part, cmp(c))
-		}(chunks[w])
+			sortChunk(c, part, tmp)
+		}(chunks[w], out[lo:hi])
 	}
 	wg.Wait()
 
@@ -56,8 +80,7 @@ func Sort[T any](c elem.Codec[T], vs []T, workers int) {
 		cuts[i] = mselect.Select[T](c, acc, int64(n)*int64(i)/int64(workers))
 	}
 
-	// 3. Merge each output part concurrently into a scratch buffer.
-	out := make([]T, n)
+	// 3. Merge each output part concurrently into the scratch buffer.
 	for w := 0; w < workers; w++ {
 		lo := n * w / workers
 		hi := n * (w + 1) / workers

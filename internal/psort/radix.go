@@ -1,0 +1,127 @@
+package psort
+
+import (
+	"slices"
+	"sync"
+
+	"demsort/internal/elem"
+)
+
+// The radix path sorts (normalized key, original index) pairs with an
+// LSD byte-wise radix sort, then permutes the elements once. Keys are
+// order-preserving uint64s (elem.KeyedCodec), so the inner loops are
+// counting scans with no comparator calls at all. LSD is stable on the
+// original index, which makes the result identical to a stable
+// comparison sort for exact-key codecs; prefix-key codecs (Rec100)
+// get a comparator fix-up pass over runs of equal truncated keys.
+
+// radixMinLen is the size below which the comparison sort wins (the
+// pair build + permute overhead dominates tiny inputs).
+const radixMinLen = 192
+
+// keyIdx is one radix element: the normalized key plus the element's
+// original position (the payload of the sort).
+type keyIdx struct {
+	key uint64
+	idx int32
+}
+
+// pairScratch recycles the two pair buffers; they are element-type
+// independent, so one pool serves every codec.
+var pairScratch = sync.Pool{New: func() any { return new([2][]keyIdx) }}
+
+// radixSort sorts vs by kc's normalized key order (ties by original
+// position, then Less for inexact keys). elemTmp must have capacity
+// >= len(vs) when non-nil; nil allocates the permute buffer.
+func radixSort[T any](kc elem.KeyedCodec[T], vs []T, elemTmp []T) {
+	n := len(vs)
+	if n < 2 {
+		return
+	}
+	if n > 1<<31-1 {
+		panic("psort: radix sort input exceeds 2^31 elements")
+	}
+	sp := pairScratch.Get().(*[2][]keyIdx)
+	defer pairScratch.Put(sp)
+	if cap(sp[0]) < n {
+		sp[0] = make([]keyIdx, n)
+		sp[1] = make([]keyIdx, n)
+	}
+	a, b := sp[0][:n], sp[1][:n]
+
+	// Build pairs and histogram all 8 byte positions in one pass.
+	var hist [8][256]int32
+	for i, v := range vs {
+		k := kc.Key(v)
+		a[i] = keyIdx{key: k, idx: int32(i)}
+		hist[0][byte(k)]++
+		hist[1][byte(k>>8)]++
+		hist[2][byte(k>>16)]++
+		hist[3][byte(k>>24)]++
+		hist[4][byte(k>>32)]++
+		hist[5][byte(k>>40)]++
+		hist[6][byte(k>>48)]++
+		hist[7][byte(k>>56)]++
+	}
+
+	for d := 0; d < 8; d++ {
+		shift := uint(d * 8)
+		h := &hist[d]
+		// A digit on which every key agrees needs no pass (digit
+		// counts are permutation-invariant, so probing any current
+		// element is valid).
+		if h[byte(a[0].key>>shift)] == int32(n) {
+			continue
+		}
+		var sum int32
+		for j := 0; j < 256; j++ {
+			cnt := h[j]
+			h[j] = sum
+			sum += cnt
+		}
+		for _, p := range a {
+			dig := byte(p.key >> shift)
+			b[h[dig]] = p
+			h[dig]++
+		}
+		a, b = b, a
+	}
+
+	// One gather permutation of the elements.
+	if cap(elemTmp) < n {
+		elemTmp = make([]T, n)
+	}
+	out := elemTmp[:n]
+	for i, p := range a {
+		out[i] = vs[p.idx]
+	}
+	copy(vs, out)
+
+	// Prefix keys: comparator fix-up over runs of equal truncated
+	// keys. Within a run the elements are still in original order
+	// (LSD stability), so a stable sort keeps the overall result
+	// stable.
+	if !kc.KeyExact() {
+		for lo := 0; lo < n; {
+			hi := lo + 1
+			for hi < n && a[hi].key == a[lo].key {
+				hi++
+			}
+			if hi-lo > 1 {
+				slices.SortStableFunc(vs[lo:hi], cmp[T](kc))
+			}
+			lo = hi
+		}
+	}
+}
+
+// sortChunk sorts vs in place: the radix path for key-normalized
+// codecs, a stable comparison sort otherwise. elemTmp is an optional
+// permute buffer of capacity >= len(vs).
+func sortChunk[T any](c elem.Codec[T], vs []T, elemTmp []T) {
+	if kc, ok := c.(elem.KeyedCodec[T]); ok && len(vs) >= radixMinLen {
+		radixSort(kc, vs, elemTmp)
+		return
+	}
+	slices.SortStableFunc(vs, cmp(c))
+}

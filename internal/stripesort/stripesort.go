@@ -22,6 +22,7 @@ import (
 	"demsort/internal/blockio"
 	"demsort/internal/cluster"
 	"demsort/internal/elem"
+	"demsort/internal/psort"
 	"demsort/internal/vtime"
 )
 
@@ -69,7 +70,7 @@ func DefaultConfig(p int, memElems int64, blockBytes int) Config {
 		Randomize:   true,
 		Seed:        1,
 		Overlap:     true,
-		RealWorkers: 1,
+		RealWorkers: psort.DefaultWorkers(),
 		Model:       vtime.Default(),
 	}
 }

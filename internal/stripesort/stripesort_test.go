@@ -150,6 +150,7 @@ func TestStripedEmptyAndTiny(t *testing.T) {
 
 func TestStripedDeterministic(t *testing.T) {
 	cfg := testConfig(4)
+	cfg.RealWorkers = 1 // pin: byte-reproducibility must not depend on the host
 	input := workload.Generate(workload.Uniform, 4, 5000, 13)
 	a, err := Sort[elem.KV16](kvc, cfg, input)
 	if err != nil {

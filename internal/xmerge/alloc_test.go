@@ -1,0 +1,34 @@
+//go:build !race
+
+// The zero-allocation assertion cannot run under the race detector:
+// it intentionally randomises sync.Pool reuse, so pooled scratch looks
+// like a fresh allocation.
+
+package xmerge
+
+import (
+	"math/rand/v2"
+	"testing"
+
+	"demsort/internal/elem"
+)
+
+// TestAppendMergeNoPerCallAllocations: the merge scratch is pooled, so
+// a warmed-up keyed merge of >2 sequences must not allocate beyond the
+// output slice.
+func TestAppendMergeNoPerCallAllocations(t *testing.T) {
+	rng := rand.New(rand.NewPCG(43, 44))
+	seqs := sortedKVSeqs(rng, 9, 200, 1<<30)
+	total := 0
+	for _, s := range seqs {
+		total += len(s)
+	}
+	dst := make([]elem.KV16, 0, total)
+	AppendMerge[elem.KV16](kvc, dst, seqs) // warm the pool
+	avg := testing.AllocsPerRun(20, func() {
+		AppendMerge[elem.KV16](kvc, dst[:0], seqs)
+	})
+	if avg > 0 {
+		t.Fatalf("keyed AppendMerge allocates %.1f objects per call, want 0", avg)
+	}
+}

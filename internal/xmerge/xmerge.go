@@ -1,15 +1,64 @@
 // Package xmerge implements sequential multiway merging of sorted
 // sequences, the inner loop of both the run-formation internal sort and
 // the final merge phase. It also provides the "batch merge" primitive
-// from Section III of the paper: merge as much as is safe given that
-// only a prefix of every run has been fetched, carrying the rest over
-// to the next batch.
+// from Section III of the paper (MergeBounded): merge as much as is
+// safe given that only a prefix of every run has been fetched, carrying
+// the rest over to the next batch.
+//
+// Merging runs on the flat key-inline tournament tree (pq.KeyTree):
+// stream heads are summarised by 64-bit normalized keys
+// (elem.KeyedCodec), so the replay after each emitted element is a
+// handful of uint64 comparisons instead of indirect comparator calls.
+// Codecs without keys — and key ties of codecs whose key is a prefix —
+// fall back to Codec.Less transparently. The per-merge scratch (key
+// tree, per-stream keys/liveness/positions) is element-type-independent
+// and recycled through a pool, so repeated merges allocate nothing.
 package xmerge
 
 import (
+	"sync"
+
 	"demsort/internal/elem"
 	"demsort/internal/pq"
 )
+
+// merger is the reusable scratch of one multiway merge. It holds no
+// element data, only stream bookkeeping, so a single global pool
+// serves merges of every element type.
+type merger struct {
+	tree pq.KeyTree
+	keys []uint64
+	live []bool
+	pos  []int
+}
+
+var mergerPool = sync.Pool{New: func() any { return new(merger) }}
+
+// getMerger returns a merger with zeroed n-sized stream arrays.
+func getMerger(n int) *merger {
+	m := mergerPool.Get().(*merger)
+	if cap(m.keys) < n {
+		m.keys = make([]uint64, n)
+		m.live = make([]bool, n)
+		m.pos = make([]int, n)
+	}
+	m.keys = m.keys[:n]
+	m.live = m.live[:n]
+	m.pos = m.pos[:n]
+	for i := 0; i < n; i++ {
+		m.keys[i] = 0
+		m.live[i] = false
+		m.pos[i] = 0
+	}
+	return m
+}
+
+// putMerger releases the scratch; the tie closure is dropped first so
+// the pooled tree does not keep the caller's sequences reachable.
+func putMerger(m *merger) {
+	m.tree.DropTie()
+	mergerPool.Put(m)
+}
 
 // Merge merges the sorted sequences seqs into a single sorted slice.
 // Ties are broken by sequence index, making the output deterministic.
@@ -33,26 +82,75 @@ func AppendMerge[T any](c elem.Codec[T], dst []T, seqs [][]T) []T {
 	case 2:
 		return appendMerge2(c, dst, seqs[0], seqs[1])
 	}
+	if kc, ok := c.(elem.KeyedCodec[T]); ok {
+		return appendMergeKeyed(kc, dst, seqs)
+	}
+	return appendMergeFallback(c, dst, seqs)
+}
+
+// appendMergeKeyed is the normalized-key merge loop: the tree replays
+// on raw uint64 keys, the comparator is consulted only when a prefix
+// key ties.
+func appendMergeKeyed[T any](kc elem.KeyedCodec[T], dst []T, seqs [][]T) []T {
 	n := len(seqs)
-	heads := make([]T, n)
-	live := make([]bool, n)
-	pos := make([]int, n)
+	m := getMerger(n)
+	defer putMerger(m)
+	pos := m.pos
 	for i, s := range seqs {
 		if len(s) > 0 {
-			heads[i] = s[0]
-			live[i] = true
-			pos[i] = 1
+			m.keys[i] = kc.Key(s[0])
+			m.live[i] = true
 		}
 	}
-	lt := pq.NewLoserTree(n, heads, live, c.Less)
-	for !lt.Empty() {
-		v, i := lt.Min()
-		dst = append(dst, v)
-		if pos[i] < len(seqs[i]) {
-			lt.Replace(seqs[i][pos[i]])
-			pos[i]++
+	var tie func(a, b int) bool
+	if !kc.KeyExact() {
+		tie = func(a, b int) bool { return kc.Less(seqs[a][pos[a]], seqs[b][pos[b]]) }
+	}
+	t := &m.tree
+	t.Reset(n, m.keys, m.live, tie)
+	for !t.Empty() {
+		i := t.Win()
+		s := seqs[i]
+		p := pos[i]
+		dst = append(dst, s[p])
+		p++
+		pos[i] = p
+		if p < len(s) {
+			t.Replace(kc.Key(s[p]))
 		} else {
-			lt.Retire()
+			t.Retire()
+		}
+	}
+	return dst
+}
+
+// appendMergeFallback merges closure-only codecs: every head key is
+// zero, so the tree degenerates to the comparator order (plus the
+// stream-index tie), preserving the exact pre-key behaviour.
+func appendMergeFallback[T any](c elem.Codec[T], dst []T, seqs [][]T) []T {
+	n := len(seqs)
+	m := getMerger(n)
+	defer putMerger(m)
+	pos := m.pos
+	for i, s := range seqs {
+		if len(s) > 0 {
+			m.live[i] = true
+		}
+	}
+	tie := func(a, b int) bool { return c.Less(seqs[a][pos[a]], seqs[b][pos[b]]) }
+	t := &m.tree
+	t.Reset(n, m.keys, m.live, tie)
+	for !t.Empty() {
+		i := t.Win()
+		s := seqs[i]
+		p := pos[i]
+		dst = append(dst, s[p])
+		p++
+		pos[i] = p
+		if p < len(s) {
+			t.Replace(0)
+		} else {
+			t.Retire()
 		}
 	}
 	return dst
@@ -91,29 +189,43 @@ type Cursor[T any] struct {
 // ("barrier"), so everything emitted is guaranteed globally next.
 // haveBound=false means no barrier (all sequences fully fetched).
 func MergeBounded[T any](c elem.Codec[T], dst []T, curs []*Cursor[T], limit int, bound T, haveBound bool) []T {
+	key, exact := elem.KeyFn(c)
 	n := len(curs)
-	heads := make([]T, n)
-	live := make([]bool, n)
+	m := getMerger(n)
+	defer putMerger(m)
 	for i, cur := range curs {
 		if cur.Off < len(cur.Seq) {
-			heads[i] = cur.Seq[cur.Off]
-			live[i] = true
+			m.keys[i] = key(cur.Seq[cur.Off])
+			m.live[i] = true
 		}
 	}
-	lt := pq.NewLoserTree(n, heads, live, c.Less)
+	var tie func(a, b int) bool
+	if !exact {
+		tie = func(a, b int) bool {
+			return c.Less(curs[a].Seq[curs[a].Off], curs[b].Seq[curs[b].Off])
+		}
+	}
+	t := &m.tree
+	t.Reset(n, m.keys, m.live, tie)
+	var boundKey uint64
+	if haveBound {
+		boundKey = key(bound)
+	}
 	emitted := 0
-	for !lt.Empty() && emitted < limit {
-		v, i := lt.Min()
-		if haveBound && c.Less(bound, v) {
+	for !t.Empty() && emitted < limit {
+		i := t.Win()
+		cur := curs[i]
+		v := cur.Seq[cur.Off]
+		if haveBound && (t.WinKey() > boundKey || c.Less(bound, v)) {
 			break
 		}
 		dst = append(dst, v)
 		emitted++
-		curs[i].Off++
-		if curs[i].Off < len(curs[i].Seq) {
-			lt.Replace(curs[i].Seq[curs[i].Off])
+		cur.Off++
+		if cur.Off < len(cur.Seq) {
+			t.Replace(key(cur.Seq[cur.Off]))
 		} else {
-			lt.Retire()
+			t.Retire()
 		}
 	}
 	return dst
