@@ -1,0 +1,167 @@
+// Command benchdiff compares two BENCH.json artefacts (written by
+// benchfig -json) and flags phase-time regressions: any series point
+// whose modelled time grew by more than -threshold percent against the
+// baseline, plus large swings in the host wall-clock spent
+// regenerating each artefact (reported, not flagged — host timing is
+// noisy in CI).
+//
+// It prints a human-readable report and exits 0 by default so CI can
+// wire it in as a non-blocking report; -strict exits 1 when
+// regressions were flagged (for local gating).
+//
+// Usage:
+//
+//	benchdiff [-threshold 5] [-strict] old/BENCH.json new/BENCH.json
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+)
+
+// The subset of benchfig's -json document benchdiff consumes.
+type series struct {
+	Name string    `json:"name"`
+	X    []float64 `json:"x"`
+	Y    []float64 `json:"y"`
+}
+
+type figure struct {
+	Name       string   `json:"name"`
+	ElapsedSec float64  `json:"elapsed_sec"`
+	Series     []series `json:"series"`
+}
+
+type table struct {
+	Name       string  `json:"name"`
+	ElapsedSec float64 `json:"elapsed_sec"`
+}
+
+type doc struct {
+	Figures []figure `json:"figures"`
+	Tables  []table  `json:"tables"`
+}
+
+// regression is one flagged series point.
+type regression struct {
+	figure, series string
+	x, oldY, newY  float64
+}
+
+func main() {
+	threshold := flag.Float64("threshold", 5, "regression threshold in percent")
+	strict := flag.Bool("strict", false, "exit non-zero when regressions are flagged")
+	flag.Parse()
+	if flag.NArg() != 2 {
+		fmt.Fprintln(os.Stderr, "usage: benchdiff [-threshold 5] [-strict] <old BENCH.json> <new BENCH.json>")
+		os.Exit(2)
+	}
+	oldDoc, err := load(flag.Arg(0))
+	fail(err)
+	newDoc, err := load(flag.Arg(1))
+	fail(err)
+
+	regs, improved, compared := diff(oldDoc, newDoc, *threshold)
+	fmt.Printf("benchdiff: %s -> %s (threshold %.1f%%)\n", flag.Arg(0), flag.Arg(1), *threshold)
+	fmt.Printf("compared %d series points; %d regressed, %d improved by more than the threshold\n",
+		compared, len(regs), improved)
+	for _, r := range regs {
+		fmt.Printf("  REGRESSION %s/%s @ x=%g: %.4fs -> %.4fs (%+.1f%%)\n",
+			r.figure, r.series, r.x, r.oldY, r.newY, pct(r.oldY, r.newY))
+	}
+	reportElapsed(oldDoc, newDoc)
+	if len(regs) == 0 {
+		fmt.Println("no phase-time regressions flagged")
+	}
+	if *strict && len(regs) > 0 {
+		os.Exit(1)
+	}
+}
+
+// diff flags series points regressing beyond thresholdPct; points are
+// matched by (figure name, series name, x value), so re-ordered or
+// added series never produce spurious flags.
+func diff(oldDoc, newDoc *doc, thresholdPct float64) (regs []regression, improved, compared int) {
+	type key struct {
+		fig, ser string
+		x        float64
+	}
+	base := map[key]float64{}
+	for _, f := range oldDoc.Figures {
+		for _, s := range f.Series {
+			for i, x := range s.X {
+				if i < len(s.Y) {
+					base[key{f.Name, s.Name, x}] = s.Y[i]
+				}
+			}
+		}
+	}
+	for _, f := range newDoc.Figures {
+		for _, s := range f.Series {
+			for i, x := range s.X {
+				if i >= len(s.Y) {
+					continue
+				}
+				oldY, ok := base[key{f.Name, s.Name, x}]
+				if !ok || oldY <= 0 {
+					continue
+				}
+				compared++
+				change := pct(oldY, s.Y[i])
+				switch {
+				case change > thresholdPct:
+					regs = append(regs, regression{figure: f.Name, series: s.Name, x: x, oldY: oldY, newY: s.Y[i]})
+				case change < -thresholdPct:
+					improved++
+				}
+			}
+		}
+	}
+	return regs, improved, compared
+}
+
+// reportElapsed prints host wall-clock shifts per artefact
+// (informational — CI hosts are too noisy to gate on).
+func reportElapsed(oldDoc, newDoc *doc) {
+	oldElapsed := map[string]float64{}
+	for _, f := range oldDoc.Figures {
+		oldElapsed["figure "+f.Name] = f.ElapsedSec
+	}
+	for _, t := range oldDoc.Tables {
+		oldElapsed["table "+t.Name] = t.ElapsedSec
+	}
+	report := func(name string, sec float64) {
+		if prev, ok := oldElapsed[name]; ok && prev > 0 {
+			fmt.Printf("  host %-24s %.2fs -> %.2fs (%+.1f%%)\n", name, prev, sec, pct(prev, sec))
+		}
+	}
+	for _, f := range newDoc.Figures {
+		report("figure "+f.Name, f.ElapsedSec)
+	}
+	for _, t := range newDoc.Tables {
+		report("table "+t.Name, t.ElapsedSec)
+	}
+}
+
+func pct(oldY, newY float64) float64 { return (newY - oldY) / oldY * 100 }
+
+func load(path string) (*doc, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var d doc
+	if err := json.Unmarshal(data, &d); err != nil {
+		return nil, fmt.Errorf("benchdiff: %s: %w", path, err)
+	}
+	return &d, nil
+}
+
+func fail(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+}

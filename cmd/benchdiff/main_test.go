@@ -1,0 +1,56 @@
+package main
+
+import "testing"
+
+func mkDoc(y1, y2 float64, elapsed float64) *doc {
+	return &doc{
+		Figures: []figure{{
+			Name:       "fig2",
+			ElapsedSec: elapsed,
+			Series: []series{
+				{Name: "run formation", X: []float64{2, 4}, Y: []float64{y1, y2}},
+				{Name: "final merge", X: []float64{2, 4}, Y: []float64{1.0, 1.0}},
+			},
+		}},
+	}
+}
+
+func TestDiffFlagsRegressionsOverThreshold(t *testing.T) {
+	oldDoc := mkDoc(1.00, 2.00, 10)
+	newDoc := mkDoc(1.04, 2.30, 11) // +4% (under), +15% (over)
+	regs, improved, compared := diff(oldDoc, newDoc, 5)
+	if compared != 4 {
+		t.Fatalf("compared %d points, want 4", compared)
+	}
+	if len(regs) != 1 {
+		t.Fatalf("flagged %d regressions, want 1: %+v", len(regs), regs)
+	}
+	r := regs[0]
+	if r.figure != "fig2" || r.series != "run formation" || r.x != 4 {
+		t.Fatalf("wrong point flagged: %+v", r)
+	}
+	if improved != 0 {
+		t.Fatalf("improved = %d, want 0", improved)
+	}
+}
+
+func TestDiffCountsImprovements(t *testing.T) {
+	oldDoc := mkDoc(1.00, 2.00, 10)
+	newDoc := mkDoc(0.80, 1.99, 9) // -20% (improved), -0.5% (noise)
+	regs, improved, _ := diff(oldDoc, newDoc, 5)
+	if len(regs) != 0 || improved != 1 {
+		t.Fatalf("got %d regressions / %d improvements, want 0/1", len(regs), improved)
+	}
+}
+
+func TestDiffIgnoresUnmatchedSeries(t *testing.T) {
+	oldDoc := mkDoc(1, 1, 10)
+	newDoc := &doc{Figures: []figure{{
+		Name:   "fig2",
+		Series: []series{{Name: "brand new series", X: []float64{2}, Y: []float64{99}}},
+	}}}
+	regs, _, compared := diff(oldDoc, newDoc, 5)
+	if len(regs) != 0 || compared != 0 {
+		t.Fatalf("unmatched series must not be compared: %d regs, %d compared", len(regs), compared)
+	}
+}

@@ -1,46 +1,305 @@
-// Command demsort sorts a generated workload on the simulated
-// distributed-memory cluster and prints the per-phase breakdown,
+// Command demsort sorts a workload with CANONICALMERGESORT (or the
+// globally striped variant) and prints the per-phase breakdown,
 // validation verdict and throughput — a one-shot view of the system.
+//
+// Two transports are available:
+//
+//   - -transport=sim (default): the whole machine is simulated in this
+//     process and per-phase times come from the calibrated
+//     virtual-time cost model (the paper's figures);
+//   - -transport=tcp: one OS process per PE over real sockets, and
+//     per-phase times are wall-clock. Without -rank, demsort acts as a
+//     launcher: it forks -p local worker processes, waits, and
+//     valsort-validates the combined output. With -rank/-peers, it is
+//     one worker of a (possibly multi-host) machine.
+//
+// The tcp transport (and sim with -records) sorts SortBenchmark-style
+// 100-byte records: generated in-process gensort-equivalently from
+// -seed, or read from a gensort file via -infile. Sorted partitions
+// are written to -outdir as raw records (valsort-compatible).
 //
 // Usage:
 //
 //	demsort [-p 8] [-n 24576] [-mem 8192] [-block 1024]
 //	        [-workload uniform|worstcase|reversed|narrow|allequal|hotkey|sorted]
 //	        [-randomize=true] [-striped] [-seed 1]
+//	        [-transport sim|tcp] [-records] [-infile data] [-outdir out]
+//	        [-rank R -peers host:port,host:port,...]
+//
+// Examples:
+//
+//	demsort                                      # simulated, KV16 figures workload
+//	demsort -records -outdir out                 # simulated, gensort records
+//	demsort -transport=tcp -p 4 -outdir out      # 4 real worker processes on localhost
+//	demsort -transport=tcp -rank 1 -peers hostA:7001,hostB:7002  # one PE of a 2-host machine
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"time"
 
 	demsort "demsort"
+	"demsort/internal/cluster/tcp"
+	"demsort/internal/elem"
+	"demsort/internal/sortbench"
 	"demsort/internal/workload"
 )
 
 func main() {
-	p := flag.Int("p", 8, "number of PEs (cluster nodes)")
-	n := flag.Int("n", 24576, "elements per PE")
+	p := flag.Int("p", 8, "number of PEs (cluster nodes / worker processes)")
+	n := flag.Int("n", 24576, "elements (records) per PE")
 	mem := flag.Int64("mem", 8192, "internal memory budget per PE (elements)")
 	block := flag.Int("block", 1024, "block size in bytes")
-	kind := flag.String("workload", "uniform", "input distribution")
+	kind := flag.String("workload", "uniform", "input distribution (sim KV16 mode)")
 	randomize := flag.Bool("randomize", true, "shuffle input blocks before run formation")
 	striped := flag.Bool("striped", false, "use the globally striped algorithm (Section III)")
 	seed := flag.Uint64("seed", 1, "random seed")
+	transport := flag.String("transport", "sim", "cluster backend: sim (virtual time) or tcp (real processes)")
+	records := flag.Bool("records", false, "sort SortBenchmark 100-byte records instead of KV16")
+	infile := flag.String("infile", "", "gensort input file (implies -records; rank r takes records [r·n, (r+1)·n))")
+	outdir := flag.String("outdir", "", "write sorted partitions here as part-%03d (raw records)")
+	rank := flag.Int("rank", -1, "this process's PE rank (tcp worker mode; -1 = launch workers)")
+	peers := flag.String("peers", "", "comma-separated host:port listen addresses, one per rank (tcp)")
 	flag.Parse()
 
-	input := workload.Generate(workload.Kind(*kind), *p, *n, *seed)
+	if *striped && (*records || *infile != "" || *transport == "tcp") {
+		fail(fmt.Errorf("demsort: -striped currently supports only the simulated KV16 workload (its output collection is in-process)"))
+	}
+	switch *transport {
+	case "sim":
+		if *records || *infile != "" {
+			runRecordsSim(*p, int64(*n), *mem, *block, *seed, *randomize, *infile, *outdir)
+			return
+		}
+		runKV16Sim(*p, *n, *mem, *block, *kind, *randomize, *striped, *seed)
+	case "tcp":
+		if *rank < 0 {
+			runLauncher(*p, int64(*n), *mem, *block, *seed, *randomize, *infile, *outdir)
+			return
+		}
+		if *peers == "" {
+			fail(fmt.Errorf("demsort: tcp worker mode needs -peers"))
+		}
+		runTCPWorker(*rank, strings.Split(*peers, ","), int64(*n), *mem, *block, *seed, *randomize, *infile, *outdir)
+	default:
+		fail(fmt.Errorf("demsort: unknown transport %q (want sim or tcp)", *transport))
+	}
+}
+
+// ---------------------------------------------------------------------
+// Record workloads (gensort-equivalent).
+// ---------------------------------------------------------------------
+
+// loadRecords returns PE rank's n records: the [rank·n, (rank+1)·n)
+// tile of the gensort file when given, else generated in-process with
+// the same generator the gensort command uses.
+func loadRecords(infile string, seed uint64, rank int, n int64) []elem.Rec100 {
+	if infile == "" {
+		return sortbench.Generate(seed, int64(rank)*n, n)
+	}
+	f, err := os.Open(infile)
+	fail(err)
+	defer f.Close()
+	buf := make([]byte, n*100)
+	if _, err := f.ReadAt(buf, int64(rank)*n*100); err != nil {
+		fail(fmt.Errorf("demsort: reading %d records at offset %d from %s: %w", n, int64(rank)*n*100, infile, err))
+	}
+	recs := make([]elem.Rec100, n)
+	for i := range recs {
+		copy(recs[i][:], buf[i*100:])
+	}
+	return recs
+}
+
+// inputSummary digests the whole input tile by tile (only Records and
+// Checksum matter for the permutation check — the input is unsorted by
+// nature, so no cross-tile order folding is needed or wanted).
+func inputSummary(infile string, seed uint64, p int, nPer int64) sortbench.Summary {
+	var s sortbench.Summary
+	for rank := 0; rank < p; rank++ {
+		tile := sortbench.Validate(loadRecords(infile, seed, rank, nPer))
+		s.Records += tile.Records
+		s.Checksum += tile.Checksum
+	}
+	return s
+}
+
+func writePart(outdir string, rank int, recs []elem.Rec100) string {
+	path := filepath.Join(outdir, fmt.Sprintf("part-%03d", rank))
+	buf := make([]byte, 0, len(recs)*100)
+	for i := range recs {
+		buf = append(buf, recs[i][:]...)
+	}
+	fail(os.WriteFile(path, buf, 0o644))
+	return path
+}
+
+func recordOptions(p int, mem int64, block int, seed uint64, randomize bool) demsort.Options {
+	opts := demsort.NewOptions(p, mem, block)
+	opts.Model = demsort.ScaledModel(block)
+	opts.Randomize = randomize
+	opts.Seed = seed
+	opts.KeepOutput = true
+	return opts
+}
+
+// runRecordsSim sorts gensort records on the simulated machine —
+// the reference run the tcp backend's output must match bit for bit.
+func runRecordsSim(p int, nPer, mem int64, block int, seed uint64, randomize bool, infile, outdir string) {
+	input := make([][]elem.Rec100, p)
+	for rank := 0; rank < p; rank++ {
+		input[rank] = loadRecords(infile, seed, rank, nPer)
+	}
+	res, err := demsort.Sort[elem.Rec100](demsort.Rec100Codec{}, recordOptions(p, mem, block, seed, randomize), input)
+	fail(err)
+	nBytes := res.N * 100
+	fmt.Printf("CanonicalMergeSort[records]: P=%d N=%d (R=%d runs, k=%d sub-operations)\n",
+		res.P, res.N, res.Runs, res.SubOps)
+	for _, ph := range res.PhaseNames {
+		read, written := res.PhaseBytes(ph)
+		fmt.Printf("  %-20s %10.4fs   io %s\n", ph, res.MaxWall(ph), fmtIO(read, written, nBytes))
+	}
+	var sums []sortbench.Summary
+	for rank := 0; rank < p; rank++ {
+		sums = append(sums, sortbench.Validate(res.Output[rank]))
+		if outdir != "" {
+			fail(os.MkdirAll(outdir, 0o755))
+			writePart(outdir, rank, res.Output[rank])
+		}
+	}
+	verdictRecords(sortbench.Merge(sums), inputSummary(infile, seed, p, nPer))
+	fmt.Printf("modelled total: %.4fs (%.2f MB/s equivalent)\n",
+		res.TotalWall(), float64(nBytes)/1e6/res.TotalWall())
+}
+
+// ---------------------------------------------------------------------
+// tcp worker: one PE of a real-process machine.
+// ---------------------------------------------------------------------
+
+func runTCPWorker(rank int, peers []string, nPer, mem int64, block int, seed uint64, randomize bool, infile, outdir string) {
+	p := len(peers)
+	m, err := tcp.New(tcp.Config{
+		Rank:       rank,
+		Peers:      peers,
+		BlockBytes: block,
+		MemElems:   mem,
+	})
+	fail(err)
+	defer m.Close()
+
+	opts := recordOptions(p, mem, block, seed, randomize)
+	opts.Machine = m
+	input := make([][]elem.Rec100, p)
+	input[rank] = loadRecords(infile, seed, rank, nPer)
+
+	start := time.Now()
+	res, err := demsort.Sort[elem.Rec100](demsort.Rec100Codec{}, opts, input)
+	fail(err)
+
+	var phases []string
+	for _, ph := range res.PhaseNames {
+		phases = append(phases, fmt.Sprintf("%s %.3fs", ph, res.PerPE[rank][ph].Wall))
+	}
+	fmt.Printf("rank %d: %d records in %.3fs (%s)\n",
+		rank, res.OutputLens[rank], time.Since(start).Seconds(), strings.Join(phases, " | "))
+	if outdir != "" {
+		fail(os.MkdirAll(outdir, 0o755))
+		writePart(outdir, rank, res.Output[rank])
+	}
+}
+
+// ---------------------------------------------------------------------
+// tcp launcher: fork one worker process per PE on localhost.
+// ---------------------------------------------------------------------
+
+func runLauncher(p int, nPer, mem int64, block int, seed uint64, randomize bool, infile, outdir string) {
+	if outdir == "" {
+		outdir = "demsort-out"
+	}
+	fail(os.MkdirAll(outdir, 0o755))
+	peers, err := tcp.ReservePorts(p)
+	fail(err)
+	exe, err := os.Executable()
+	fail(err)
+
+	fmt.Printf("launching %d workers on %s\n", p, strings.Join(peers, ","))
+	start := time.Now()
+	cmds := make([]*exec.Cmd, p)
+	for rank := 0; rank < p; rank++ {
+		args := []string{
+			"-transport=tcp",
+			"-rank", fmt.Sprint(rank),
+			"-peers", strings.Join(peers, ","),
+			"-n", fmt.Sprint(nPer),
+			"-mem", fmt.Sprint(mem),
+			"-block", fmt.Sprint(block),
+			"-seed", fmt.Sprint(seed),
+			fmt.Sprintf("-randomize=%v", randomize),
+			"-outdir", outdir,
+		}
+		if infile != "" {
+			args = append(args, "-infile", infile)
+		}
+		cmd := exec.Command(exe, args...)
+		cmd.Stdout = os.Stdout
+		cmd.Stderr = os.Stderr
+		// DEMSORT_ARGS lets the demsort test binary re-enter main()
+		// with these flags; the release binary ignores it.
+		cmd.Env = append(os.Environ(), "DEMSORT_ARGS="+strings.Join(args, " "))
+		fail(cmd.Start())
+		cmds[rank] = cmd
+	}
+	failed := false
+	for rank, cmd := range cmds {
+		if err := cmd.Wait(); err != nil {
+			fmt.Fprintf(os.Stderr, "worker %d: %v\n", rank, err)
+			failed = true
+		}
+	}
+	if failed {
+		os.Exit(1)
+	}
+	wall := time.Since(start).Seconds()
+
+	// valsort over the partitions, in rank order.
+	var sums []sortbench.Summary
+	for rank := 0; rank < p; rank++ {
+		data, err := os.ReadFile(filepath.Join(outdir, fmt.Sprintf("part-%03d", rank)))
+		fail(err)
+		recs := make([]elem.Rec100, len(data)/100)
+		for i := range recs {
+			copy(recs[i][:], data[i*100:])
+		}
+		sums = append(sums, sortbench.Validate(recs))
+	}
+	got := sortbench.Merge(sums)
+	verdictRecords(got, inputSummary(infile, seed, p, nPer))
+	fmt.Printf("wall total: %.3fs (%.2f MB/s across %d processes)\n",
+		wall, float64(got.Records)*100/1e6/wall, p)
+}
+
+// ---------------------------------------------------------------------
+// KV16 simulated mode (the original figures workload).
+// ---------------------------------------------------------------------
+
+func runKV16Sim(p, n int, mem int64, block int, kind string, randomize, striped bool, seed uint64) {
+	input := workload.Generate(workload.Kind(kind), p, n, seed)
 	var ref []demsort.KV16
 	for _, part := range input {
 		ref = append(ref, part...)
 	}
 	nBytes := int64(len(ref)) * 16
 
-	if *striped {
-		opts := demsort.NewStripedOptions(*p, *mem, *block)
-		opts.Model = demsort.ScaledModel(*block)
-		opts.Randomize = *randomize
-		opts.Seed = *seed
+	if striped {
+		opts := demsort.NewStripedOptions(p, mem, block)
+		opts.Model = demsort.ScaledModel(block)
+		opts.Randomize = randomize
+		opts.Seed = seed
 		opts.KeepOutput = true
 		res, err := demsort.SortStriped[demsort.KV16](demsort.KV16Codec{}, opts, input)
 		fail(err)
@@ -62,10 +321,10 @@ func main() {
 		return
 	}
 
-	opts := demsort.NewOptions(*p, *mem, *block)
-	opts.Model = demsort.ScaledModel(*block)
-	opts.Randomize = *randomize
-	opts.Seed = *seed
+	opts := demsort.NewOptions(p, mem, block)
+	opts.Model = demsort.ScaledModel(block)
+	opts.Randomize = randomize
+	opts.Seed = seed
 	opts.KeepOutput = true
 	res, err := demsort.Sort[demsort.KV16](demsort.KV16Codec{}, opts, input)
 	fail(err)
@@ -92,6 +351,12 @@ func verdict(ok bool) {
 	}
 	fmt.Println("validation: FAILED")
 	os.Exit(1)
+}
+
+func verdictRecords(got, want sortbench.Summary) {
+	fmt.Printf("valsort: records=%d unsorted=%d duplicates=%d checksum=%016x\n",
+		got.Records, got.Unsorted, got.Duplicate, got.Checksum)
+	verdict(got.Unsorted == 0 && got.Records == want.Records && got.Checksum == want.Checksum)
 }
 
 func fail(err error) {

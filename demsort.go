@@ -13,12 +13,16 @@
 //     exactly two I/O passes up to the theoretical M²/B input bound,
 //     at the price of ~4 data communications and a striped output.
 //
-// Correctness is real — elements genuinely move between per-PE address
-// spaces and through block stores — while running times are modelled by
+// The communication layer is a pluggable transport plane
+// (internal/cluster): by default the machine is simulated in-process —
+// correctness is real (elements genuinely move between per-PE address
+// spaces and through block stores) while running times are modelled by
 // a virtual-time cost model calibrated to the paper's testbed, so the
-// evaluation figures can be regenerated at laptop scale. See README.md
-// for the architecture sketch and bench_test.go for the figure and
-// table harness.
+// evaluation figures can be regenerated at laptop scale. Setting
+// Options.Machine to a cluster/tcp backend runs the same phase code on
+// real processes with wall-clock timings (see cmd/demsort
+// -transport=tcp). See README.md for the architecture sketch and
+// bench_test.go for the figure and table harness.
 //
 // Quick start:
 //

@@ -22,6 +22,7 @@ import (
 	"demsort/internal/blockio"
 	"demsort/internal/bufpool"
 	"demsort/internal/cluster"
+	"demsort/internal/cluster/sim"
 	"demsort/internal/elem"
 	"demsort/internal/pq"
 	"demsort/internal/psort"
@@ -45,6 +46,9 @@ type Config struct {
 	RealWorkers int
 	KeepOutput  bool
 	Model       vtime.CostModel
+	// Machine optionally supplies a pre-built transport backend; nil
+	// builds a cluster/sim machine (see core.Config.Machine).
+	Machine cluster.Machine
 }
 
 // DefaultConfig mirrors core.DefaultConfig for the baselines.
@@ -132,13 +136,23 @@ func SampleSort[T any](c elem.Codec[T], cfg Config, input [][]T) (*Result[T], er
 		return nil, fmt.Errorf("baseline: block smaller than an element")
 	}
 
-	m, err := cluster.New(cluster.Config{
-		P: cfg.P, BlockBytes: cfg.BlockBytes, MemElems: cfg.MemElems, Model: cfg.Model,
-	})
-	if err != nil {
-		return nil, err
+	m := cfg.Machine
+	if m == nil {
+		sm, err := sim.New(sim.Config{
+			P: cfg.P, BlockBytes: cfg.BlockBytes, MemElems: cfg.MemElems, Model: cfg.Model,
+		})
+		if err != nil {
+			return nil, err
+		}
+		defer sm.Close()
+		m = sm
+	} else if m.P() != cfg.P {
+		return nil, fmt.Errorf("baseline: machine has %d PEs, config says %d", m.P(), cfg.P)
 	}
-	defer m.Close()
+	if len(m.Nodes()) != cfg.P {
+		// PartSizes/N aggregation (the skew metrics) is in-process.
+		return nil, fmt.Errorf("baseline: machine hosts %d of %d PEs; the baselines require all PEs in-process (use the sim backend)", len(m.Nodes()), cfg.P)
+	}
 
 	res := &Result[T]{
 		P:          cfg.P,
@@ -151,10 +165,10 @@ func SampleSort[T any](c elem.Codec[T], cfg Config, input [][]T) (*Result[T], er
 		res.Output = make([][]T, cfg.P)
 	}
 
-	err = m.Run(func(n *cluster.Node) error {
+	err := m.Run(func(n *cluster.Node) error {
 		my := input[n.Rank]
 		// Load input to disk (unmeasured), block-aligned.
-		n.Clock.SetPhase("load")
+		n.SetPhase("load")
 		var blocks []blockio.BlockID
 		var blockLens []int
 		for off := 0; off < len(my); off += bElem {
@@ -172,7 +186,7 @@ func SampleSort[T any](c elem.Codec[T], cfg Config, input [][]T) (*Result[T], er
 
 		// Phase 1: sample keys and agree on splitters. NOW-Sort reads
 		// a random subset of keys — cheap, but only approximate.
-		n.Clock.SetPhase(PhaseSample)
+		n.SetPhase(PhaseSample)
 		rng := rand.New(rand.NewPCG(cfg.Seed, uint64(n.Rank)+0xBA5E))
 		sample := make([]T, 0, cfg.Oversample)
 		raw := make([]byte, cfg.BlockBytes)
@@ -194,11 +208,11 @@ func SampleSort[T any](c elem.Codec[T], cfg Config, input [][]T) (*Result[T], er
 				splitters = append(splitters, pool[len(pool)*i/cfg.P])
 			}
 		}
-		n.Clock.AddCPU(cfg.Model.SortCPU(int64(len(pool))))
+		n.AddCPU(cfg.Model.SortCPU(int64(len(pool))))
 
 		// Phase 2: stream the input once, routing each element by
 		// binary search over the splitters; memory-sized flushes.
-		n.Clock.SetPhase(PhaseDistribute)
+		n.SetPhase(PhaseDistribute)
 		dest := func(v T) int {
 			if len(splitters) == 0 {
 				return 0
@@ -217,7 +231,7 @@ func SampleSort[T any](c elem.Codec[T], cfg Config, input [][]T) (*Result[T], er
 				return
 			}
 			psort.Sort(c, pendingRecv, cfg.RealWorkers)
-			n.Clock.AddCPU(cfg.Model.SortCPU(int64(len(pendingRecv))))
+			n.AddCPU(cfg.Model.SortCPU(int64(len(pendingRecv))))
 			var ids []blockio.BlockID
 			var lens []int
 			for off := 0; off < len(pendingRecv); off += bElem {
@@ -262,7 +276,7 @@ func SampleSort[T any](c elem.Codec[T], cfg Config, input [][]T) (*Result[T], er
 						send[q] = elem.AppendEncode(c, send[q], []T{v})
 					}
 					n.Vol.Free(blocks[b])
-					n.Clock.AddCPU(cfg.Model.ScanCPU(int64(blockLens[b])) * 2)
+					n.AddCPU(cfg.Model.ScanCPU(int64(blockLens[b])) * 2)
 				}
 			}
 			recv := n.AllToAllv(send)
@@ -280,7 +294,7 @@ func SampleSort[T any](c elem.Codec[T], cfg Config, input [][]T) (*Result[T], er
 		n.Barrier()
 
 		// Phase 3: local external merge of the received runs.
-		n.Clock.SetPhase(PhaseLocalSort)
+		n.SetPhase(PhaseLocalSort)
 		out, err := mergeRuns(c, n, cfg, recvRuns, recvRunLens, bElem)
 		if err != nil {
 			return err
@@ -288,7 +302,7 @@ func SampleSort[T any](c elem.Codec[T], cfg Config, input [][]T) (*Result[T], er
 		n.Vol.Drain()
 		n.Barrier()
 
-		n.Clock.SetPhase("collect")
+		n.SetPhase("collect")
 		res.PartSizes[n.Rank] = recvTotal
 		if cfg.KeepOutput {
 			res.Output[n.Rank] = out
@@ -298,10 +312,10 @@ func SampleSort[T any](c elem.Codec[T], cfg Config, input [][]T) (*Result[T], er
 	if err != nil {
 		return nil, err
 	}
-	for rank, node := range m.Nodes() {
-		_, stats := node.Clock.Stats()
-		res.PerPE[rank] = stats
-		res.N += res.PartSizes[rank]
+	for _, node := range m.Nodes() {
+		_, stats := node.PhaseStats()
+		res.PerPE[node.Rank] = stats
+		res.N += res.PartSizes[node.Rank]
 	}
 	return res, nil
 }
@@ -378,7 +392,7 @@ func mergeRuns[T any](c elem.Codec[T], n *cluster.Node, cfg Config, runs [][]blo
 		s.pos++
 		if len(outBuf) == bElem {
 			flush()
-			n.Clock.AddCPU(cfg.Model.MergeCPU(int64(bElem), len(runs)) + cfg.Model.ScanCPU(int64(bElem)))
+			n.AddCPU(cfg.Model.MergeCPU(int64(bElem), len(runs)) + cfg.Model.ScanCPU(int64(bElem)))
 		}
 		if s.pos < len(s.cur) {
 			lt.Replace(key(s.cur[s.pos]))

@@ -1,505 +1,199 @@
-// Package cluster simulates the distributed-memory machine: P PEs, one
-// goroutine each with a private address space, exchanging data only
-// through MPI-like primitives (point-to-point Send/Recv and the
-// collectives Barrier, Bcast, AllGather, AllToAllv, Allreduce). The
-// paper's implementation uses MVAPICH over InfiniBand; this package is
-// the stand-in, with two deliberate parallels:
+// Package cluster defines the transport-agnostic machine abstraction
+// the sorting phases program against: P PEs, each with a private
+// address space, exchanging data only through MPI-like primitives
+// (point-to-point Send/Recv and the collectives Barrier, Bcast,
+// AllGather, AllToAllv, Allreduce). The paper's implementation runs
+// over MVAPICH/InfiniBand; here the communication surface is the
+// Transport interface, with two backends:
 //
-//   - data really crosses between goroutine-private heaps, so locality
-//     and communication-volume claims are measured, not assumed;
-//   - every primitive synchronises the participating virtual clocks
-//     and charges network time from the cost model (including fabric
-//     congestion as a function of P), so phase timings reproduce the
-//     shape of the paper's figures.
+//   - cluster/sim — the single-process simulator: every PE is a
+//     goroutine, collectives rendezvous deterministically, and a
+//     virtual-time cost model (calibrated to the paper's testbed)
+//     charges network and disk time so phase timings reproduce the
+//     shape of the paper's figures;
+//   - cluster/tcp — one OS process per PE, length-prefixed framed
+//     messages over persistent pairwise TCP connections, collectives
+//     built from point-to-point; timings are real wall-clock.
 //
-// Like the paper's re-implemented MPI_Alltoallv (which broke MPI's
-// 2 GiB counts limit), AllToAllv here has no message-size limit.
+// Phase code (core, stripesort, baseline, dselect, mselect) sees only
+// *Node — a facade over a Transport plus the PE's local volume, memory
+// tracker and per-phase Stats — so the same algorithms run unchanged on
+// the simulator and on real processes. Like the paper's re-implemented
+// MPI_Alltoallv (which broke MPI's 2 GiB counts limit), AllToAllv has
+// no message-size limit in either backend.
 package cluster
 
 import (
-	"fmt"
-	"math"
-	"sync"
-
 	"demsort/internal/blockio"
 	"demsort/internal/bufpool"
 	"demsort/internal/membudget"
 	"demsort/internal/vtime"
 )
 
-// Config describes the simulated machine.
-type Config struct {
-	// P is the number of PEs (cluster nodes; one PE = one node, §VI).
-	P int
-	// BlockBytes is the external-memory block size B in bytes.
-	BlockBytes int
-	// MemElems is the per-PE internal memory budget m in elements
-	// (0 = untracked).
-	MemElems int64
-	// Model is the virtual-time cost model.
-	Model vtime.CostModel
-	// NewStore creates the block store backing one PE's volume; nil
-	// defaults to RAM-backed stores.
-	NewStore func(rank int) (blockio.Store, error)
+// Transport is the communication surface of one PE: the MPI-like
+// collectives and point-to-point primitives the phases are written
+// against. Implementations are owned by a single PE "program"
+// goroutine; calls are collective (every PE of the machine must make
+// matching calls in the same order) except Send/Recv.
+//
+// Transports do not return errors: a communication failure (protocol
+// mismatch, lost peer) aborts the whole machine run, unwinding the PE
+// goroutine through a backend-internal panic that Machine.Run recovers
+// into the returned error — phase code stays free of transport error
+// plumbing, exactly as with MPI's default error handler.
+type Transport interface {
+	// Rank is this PE's index in 0..P-1; P is the machine size.
+	Rank() int
+	P() int
+
+	// Barrier synchronises all PEs (and, on the sim backend, their
+	// virtual clocks).
+	Barrier()
+	// AllToAllv sends send[j] to PE j and returns what every PE sent
+	// to this one (recv[j] = bytes from PE j). nil entries are
+	// allowed. The self-message send[rank] is delivered without
+	// touching the network and without being copied. Received buffers
+	// are owned by the receiver (see RecycleRecv).
+	AllToAllv(send [][]byte) [][]byte
+	// AllGather collects each PE's byte slice; the result is indexed
+	// by rank and may be shared structurally (callers must not mutate
+	// it).
+	AllGather(data []byte) [][]byte
+	// Bcast distributes root's data to every PE; the result may be
+	// shared structurally.
+	Bcast(root int, data []byte) []byte
+	// AllReduceInt64 combines every PE's value with op ("sum", "max",
+	// "min", "or") and returns the result to all.
+	AllReduceInt64(v int64, op string) int64
+	// ExchangeAny is a generic personalised exchange of small
+	// metadata values: item j goes to PE j, the result holds one item
+	// from each PE, charged at nominalBytes per item. Backends that
+	// cross address spaces (tcp) require gob-encodable items.
+	ExchangeAny(items []any, nominalBytes int) []any
+	// Send transmits payload to PE dst with a tag; Recv blocks for
+	// the next message from src, which must carry the given tag
+	// (a mismatch is a protocol bug and fails the machine). Messages
+	// from one sender arrive in order.
+	Send(dst, tag int, payload []byte)
+	Recv(src, tag int) []byte
 }
 
-// Machine is the simulated cluster.
-type Machine struct {
-	cfg   Config
-	nodes []*Node
-	rv    *rendezvous
-	p2p   []chan message // one inbox per (src*P+dst)
-
-	abortOnce sync.Once
-	abortErr  error
+// Stats is the per-phase time/traffic accounting of one PE. The sim
+// backend implements it with a virtual clock (*vtime.Clock satisfies
+// the interface directly), so AddCPU advances modelled time; the tcp
+// backend measures real wall-clock per phase and ignores modelled CPU
+// charges (real computation is already on the wall). Byte and message
+// counters are real in both backends.
+type Stats interface {
+	// SetPhase closes the running phase (accumulating its wall time)
+	// and switches accounting to name; re-entering accumulates.
+	SetPhase(name string)
+	// Phase returns the current phase name.
+	Phase() string
+	// AddCPU charges modelled CPU seconds to the current phase.
+	AddCPU(sec float64)
+	// Stats finalises the running phase and returns the per-phase
+	// statistics in first-use order.
+	Stats() (names []string, stats map[string]*vtime.PhaseStats)
 }
 
-// Node is the per-PE context handed to the program run on the machine.
+// Machine is a set of locally hosted PEs over some transport. The sim
+// backend hosts all P PEs in one process; the tcp backend hosts
+// exactly one (this process's rank) — Nodes() and result aggregation
+// therefore cover only the local ranks.
+type Machine interface {
+	// Run executes fn on every locally hosted PE concurrently and
+	// returns the first error; on failure the remaining local PEs are
+	// unblocked and unwound.
+	Run(fn func(*Node) error) error
+	// Nodes returns the locally hosted PE contexts (for post-run
+	// stats inspection).
+	Nodes() []*Node
+	// P returns the machine size (total PEs across all processes).
+	P() int
+	// Close releases the backend's resources (stores, sockets).
+	Close() error
+}
+
+// Node is the per-PE context handed to the program run on the machine:
+// the facade phase code programs against, delegating communication to
+// the backend Transport and time accounting to the backend Stats.
 type Node struct {
 	// Rank is this PE's index in 0..P-1.
 	Rank int
 	// P is the machine size.
 	P int
-	// Clock is the PE's virtual clock.
-	Clock *vtime.Clock
 	// Vol is the PE's local disk volume.
 	Vol *blockio.Volume
 	// Mem tracks the PE's internal memory budget.
 	Mem *membudget.Tracker
 
-	m *Machine
+	tr Transport
+	st Stats
 }
 
-type message struct {
-	tag     int
-	payload []byte
-	arrival float64
+// NewNode assembles a PE context over a backend transport and stats
+// implementation; backends call it, phase code only consumes it.
+func NewNode(tr Transport, st Stats, vol *blockio.Volume, mem *membudget.Tracker) *Node {
+	return &Node{Rank: tr.Rank(), P: tr.P(), Vol: vol, Mem: mem, tr: tr, st: st}
 }
 
-// New builds a machine; Close releases the stores.
-func New(cfg Config) (*Machine, error) {
-	if cfg.P < 1 {
-		return nil, fmt.Errorf("cluster: need at least one PE, got %d", cfg.P)
-	}
-	if cfg.BlockBytes <= 0 {
-		return nil, fmt.Errorf("cluster: block size must be positive, got %d", cfg.BlockBytes)
-	}
-	m := &Machine{cfg: cfg}
-	m.rv = newRendezvous(cfg.P, m)
-	m.p2p = make([]chan message, cfg.P*cfg.P)
-	for i := range m.p2p {
-		m.p2p[i] = make(chan message, 1024)
-	}
-	for rank := 0; rank < cfg.P; rank++ {
-		var store blockio.Store
-		var err error
-		if cfg.NewStore != nil {
-			store, err = cfg.NewStore(rank)
-			if err != nil {
-				return nil, err
-			}
-		} else {
-			store = blockio.NewMemStore()
-		}
-		clock := vtime.NewClock()
-		m.nodes = append(m.nodes, &Node{
-			Rank:  rank,
-			P:     cfg.P,
-			Clock: clock,
-			Vol:   blockio.NewVolume(store, cfg.BlockBytes, rank, cfg.Model, clock),
-			Mem:   membudget.New(cfg.MemElems),
-			m:     m,
-		})
-	}
-	return m, nil
+// Transport returns the backend transport (backend tests).
+func (n *Node) Transport() Transport { return n.tr }
+
+// SetPhase switches per-phase accounting to name.
+func (n *Node) SetPhase(name string) { n.st.SetPhase(name) }
+
+// Phase returns the current accounting phase.
+func (n *Node) Phase() string { return n.st.Phase() }
+
+// AddCPU charges modelled CPU seconds to the current phase (a no-op on
+// wall-clock backends, where real computation is already measured).
+func (n *Node) AddCPU(sec float64) { n.st.AddCPU(sec) }
+
+// PhaseStats finalises and returns the PE's per-phase statistics.
+func (n *Node) PhaseStats() (names []string, stats map[string]*vtime.PhaseStats) {
+	return n.st.Stats()
 }
 
-// Close releases the per-PE stores.
-func (m *Machine) Close() error {
-	var first error
-	for _, n := range m.nodes {
-		if err := n.Vol.Store().Close(); err != nil && first == nil {
-			first = err
-		}
-	}
-	return first
-}
-
-// Nodes returns the PE contexts (for post-run stats inspection).
-func (m *Machine) Nodes() []*Node { return m.nodes }
-
-// Config returns the machine configuration.
-func (m *Machine) Config() Config { return m.cfg }
-
-// abort is panicked through PE goroutines when any PE fails, so peers
-// blocked in collectives unwind instead of deadlocking.
-type abort struct{}
-
-// Run executes fn on every PE concurrently and returns the first
-// error. If a PE fails, the others are unblocked and unwound.
-func (m *Machine) Run(fn func(*Node) error) error {
-	var wg sync.WaitGroup
-	for _, n := range m.nodes {
-		wg.Add(1)
-		go func(n *Node) {
-			defer wg.Done()
-			defer func() {
-				if r := recover(); r != nil {
-					if _, isAbort := r.(abort); isAbort {
-						return // unwound because a peer failed
-					}
-					m.fail(fmt.Errorf("cluster: PE %d panicked: %v", n.Rank, r))
-				}
-			}()
-			if err := fn(n); err != nil {
-				m.fail(fmt.Errorf("PE %d: %w", n.Rank, err))
-			}
-		}(n)
-	}
-	wg.Wait()
-	return m.abortErr
-}
-
-// fail records the first error and wakes every PE blocked in a
-// collective. abortErr is guarded by the rendezvous mutex: aborted() is
-// only called with it held, and Run reads the error only after all PE
-// goroutines have joined.
-func (m *Machine) fail(err error) {
-	m.abortOnce.Do(func() {
-		m.rv.mu.Lock()
-		m.abortErr = err
-		m.rv.cond.Broadcast()
-		m.rv.mu.Unlock()
-	})
-}
-
-// aborted must be called with rv.mu held.
-func (m *Machine) aborted() bool { return m.abortErr != nil }
-
-// ---------------------------------------------------------------------
-// Rendezvous: generation-synchronised collectives.
-//
-// Every collective is: all P PEs deposit (opName, entryTime, payload);
-// the last arrival runs a compute function over the rank-ordered
-// inputs, producing one output and one exit time per PE. This is
-// deterministic regardless of goroutine scheduling.
-// ---------------------------------------------------------------------
-
-type collIn struct {
-	op   string
-	t    float64
-	data any
-}
-
-type collOut struct {
-	t    float64
-	data any
-	net  float64 // network seconds to charge
-	msgs int64
-	sent int64
-	recv int64
-}
-
-type rendezvous struct {
-	mu      sync.Mutex
-	cond    *sync.Cond
-	p       int
-	m       *Machine
-	arrived int
-	gen     uint64
-	ins     []collIn
-	outs    []collOut
-}
-
-func newRendezvous(p int, m *Machine) *rendezvous {
-	rv := &rendezvous{p: p, m: m, ins: make([]collIn, p), outs: make([]collOut, p)}
-	rv.cond = sync.NewCond(&rv.mu)
-	return rv
-}
-
-// do performs one collective step for rank. compute receives the
-// rank-ordered inputs and must fill outs.
-func (rv *rendezvous) do(rank int, op string, t float64, data any, compute func(ins []collIn, outs []collOut)) collOut {
-	rv.mu.Lock()
-	if rv.m.aborted() {
-		rv.mu.Unlock()
-		panic(abort{})
-	}
-	rv.ins[rank] = collIn{op: op, t: t, data: data}
-	rv.arrived++
-	if rv.arrived == rv.p {
-		for i := range rv.ins {
-			if rv.ins[i].op != op {
-				rv.mu.Unlock()
-				rv.m.fail(fmt.Errorf("cluster: collective mismatch: PE %d in %q, PE %d in %q",
-					i, rv.ins[i].op, rank, op))
-				panic(abort{})
-			}
-		}
-		compute(rv.ins, rv.outs)
-		rv.arrived = 0
-		for i := range rv.ins {
-			rv.ins[i] = collIn{}
-		}
-		rv.gen++
-		out := rv.outs[rank]
-		rv.cond.Broadcast()
-		rv.mu.Unlock()
-		return out
-	}
-	gen := rv.gen
-	for rv.gen == gen && !rv.m.aborted() {
-		rv.cond.Wait()
-	}
-	if rv.m.aborted() {
-		rv.mu.Unlock()
-		panic(abort{})
-	}
-	out := rv.outs[rank]
-	rv.mu.Unlock()
-	return out
-}
-
-// maxEntry returns the latest entry time among the inputs — collectives
-// complete no earlier than the last participant arrives.
-func maxEntry(ins []collIn) float64 {
-	t := math.Inf(-1)
-	for i := range ins {
-		if ins[i].t > t {
-			t = ins[i].t
-		}
-	}
-	return t
-}
-
-// latencyTerm is the per-collective startup cost: a tree of messages.
-func (m *Machine) latencyTerm() float64 {
-	p := float64(m.cfg.P)
-	return m.cfg.Model.NetLatency * math.Ceil(math.Log2(p)+1)
-}
-
-// charge applies a collective result to the PE's clock.
-func (n *Node) charge(out collOut) {
-	n.Clock.AdvanceTo(out.t)
-	st := n.Clock.Cur()
-	st.NetTime += out.net
-	st.Messages += out.msgs
-	st.BytesSent += out.sent
-	st.BytesRecv += out.recv
-}
-
-// Barrier synchronises all PEs (and their clocks).
-func (n *Node) Barrier() {
-	out := n.m.rv.do(n.Rank, "barrier", n.Clock.Now(), nil, func(ins []collIn, outs []collOut) {
-		t := maxEntry(ins) + n.m.latencyTerm()
-		for i := range outs {
-			outs[i] = collOut{t: t}
-		}
-	})
-	n.charge(out)
-}
+// Barrier synchronises all PEs.
+func (n *Node) Barrier() { n.tr.Barrier() }
 
 // AllToAllv sends send[j] to PE j and returns what every PE sent to
-// this one (recv[j] = bytes from PE j). nil entries are allowed. The
-// self-message send[Rank] is delivered without touching the network
-// (and without being copied).
-func (n *Node) AllToAllv(send [][]byte) [][]byte {
-	if len(send) != n.P {
-		panic(fmt.Sprintf("cluster: AllToAllv needs %d destination slots, got %d", n.P, len(send)))
-	}
-	out := n.m.rv.do(n.Rank, "alltoallv", n.Clock.Now(), send, func(ins []collIn, outs []collOut) {
-		p := n.m.cfg.P
-		t0 := maxEntry(ins)
-		bw := n.m.cfg.Model.EffNetBandwidth(p)
-		lat := n.m.latencyTerm()
-		// Route and cost per PE: time is governed by the max of bytes
-		// in and bytes out on its NIC (full-duplex would be min; we
-		// follow the paper's single-rail measurement and use max).
-		for i := 0; i < p; i++ {
-			recv := make([][]byte, p)
-			var bytesIn, bytesOut int64
-			var msgs int64
-			for j := 0; j < p; j++ {
-				sendJ := ins[j].data.([][]byte)
-				recv[j] = sendJ[i]
-				if i != j && len(sendJ[i]) > 0 {
-					bytesIn += int64(len(sendJ[i]))
-					msgs++
-				}
-			}
-			sendI := ins[i].data.([][]byte)
-			for j := 0; j < p; j++ {
-				if j != i {
-					bytesOut += int64(len(sendI[j]))
-				}
-			}
-			vol := bytesIn
-			if bytesOut > vol {
-				vol = bytesOut
-			}
-			net := float64(vol)/bw + lat
-			outs[i] = collOut{
-				t:    t0 + net,
-				data: recv,
-				net:  net,
-				msgs: msgs,
-				sent: bytesOut,
-				recv: bytesIn,
-			}
-		}
-	})
-	n.charge(out)
-	return out.data.([][]byte)
+// this one; see Transport.AllToAllv.
+func (n *Node) AllToAllv(send [][]byte) [][]byte { return n.tr.AllToAllv(send) }
+
+// AllGather collects each PE's byte slice, indexed by rank; the result
+// may be shared structurally (callers must not mutate it).
+func (n *Node) AllGather(data []byte) [][]byte { return n.tr.AllGather(data) }
+
+// Bcast distributes root's data to every PE.
+func (n *Node) Bcast(root int, data []byte) []byte { return n.tr.Bcast(root, data) }
+
+// AllReduceInt64 combines every PE's value with op ("sum", "max",
+// "min", "or") and returns the result to all.
+func (n *Node) AllReduceInt64(v int64, op string) int64 { return n.tr.AllReduceInt64(v, op) }
+
+// ExchangeAny is a generic personalised exchange of small metadata
+// values; see Transport.ExchangeAny.
+func (n *Node) ExchangeAny(items []any, nominalBytes int) []any {
+	return n.tr.ExchangeAny(items, nominalBytes)
 }
+
+// Send transmits payload to PE dst with a tag.
+func (n *Node) Send(dst, tag int, payload []byte) { n.tr.Send(dst, tag, payload) }
+
+// Recv blocks for the next message from src with the given tag.
+func (n *Node) Recv(src, tag int) []byte { return n.tr.Recv(src, tag) }
 
 // RecycleRecv returns AllToAllv payload buffers to the shared arena
 // once their contents have been decoded. Message buffers have exactly
 // one receiver, so the receiver owns them after the collective; the
 // sender must not touch its send buffers after AllToAllv returns.
-// Never call this on AllGather or Bcast results — those are shared
+// Never call this on AllGather or Bcast results — those may be shared
 // structurally between PEs.
 func RecycleRecv(bufs [][]byte) {
 	for _, b := range bufs {
 		bufpool.Put(b)
 	}
-}
-
-// AllGather collects each PE's byte slice; the result is indexed by
-// rank and shared structurally (callers must not mutate it).
-func (n *Node) AllGather(data []byte) [][]byte {
-	out := n.m.rv.do(n.Rank, "allgather", n.Clock.Now(), data, func(ins []collIn, outs []collOut) {
-		p := n.m.cfg.P
-		t0 := maxEntry(ins)
-		bw := n.m.cfg.Model.EffNetBandwidth(p)
-		lat := n.m.latencyTerm()
-		all := make([][]byte, p)
-		var total int64
-		for j := 0; j < p; j++ {
-			all[j] = ins[j].data.([]byte)
-			total += int64(len(all[j]))
-		}
-		for i := 0; i < p; i++ {
-			in := total - int64(len(all[i]))
-			net := float64(in)/bw + lat
-			outs[i] = collOut{t: t0 + net, data: all, net: net, msgs: int64(p - 1), sent: int64(len(all[i])) * int64(p-1), recv: in}
-		}
-	})
-	n.charge(out)
-	return out.data.([][]byte)
-}
-
-// Bcast distributes root's data to every PE.
-func (n *Node) Bcast(root int, data []byte) []byte {
-	out := n.m.rv.do(n.Rank, "bcast", n.Clock.Now(), data, func(ins []collIn, outs []collOut) {
-		p := n.m.cfg.P
-		t0 := maxEntry(ins)
-		bw := n.m.cfg.Model.EffNetBandwidth(p)
-		lat := n.m.latencyTerm()
-		payload := ins[root].data.([]byte)
-		net := float64(len(payload))/bw + lat
-		for i := 0; i < p; i++ {
-			o := collOut{t: t0 + net, data: payload, net: net}
-			if i != root {
-				o.recv = int64(len(payload))
-				o.msgs = 1
-			} else {
-				o.sent = int64(len(payload))
-			}
-			outs[i] = o
-		}
-	})
-	n.charge(out)
-	return out.data.([]byte)
-}
-
-// AllReduceInt64 combines every PE's value with op ("sum", "max",
-// "min", "or") and returns the result to all.
-func (n *Node) AllReduceInt64(v int64, op string) int64 {
-	out := n.m.rv.do(n.Rank, "allreduce:"+op, n.Clock.Now(), v, func(ins []collIn, outs []collOut) {
-		t := maxEntry(ins) + n.m.latencyTerm()
-		acc := ins[0].data.(int64)
-		for j := 1; j < len(ins); j++ {
-			x := ins[j].data.(int64)
-			switch op {
-			case "sum":
-				acc += x
-			case "max":
-				if x > acc {
-					acc = x
-				}
-			case "min":
-				if x < acc {
-					acc = x
-				}
-			case "or":
-				acc |= x
-			default:
-				panic("cluster: unknown reduce op " + op)
-			}
-		}
-		for i := range outs {
-			outs[i] = collOut{t: t, data: acc, net: n.m.latencyTerm(), msgs: 1}
-		}
-	})
-	n.charge(out)
-	return out.data.(int64)
-}
-
-// ExchangeAny is a generic personalised exchange of small metadata
-// values (splitter vectors, probe requests): item j goes to PE j, the
-// result holds one item from each PE. Payloads are charged at the
-// given nominal byte size per item.
-func (n *Node) ExchangeAny(items []any, nominalBytes int) []any {
-	if len(items) != n.P {
-		panic("cluster: ExchangeAny needs P items")
-	}
-	out := n.m.rv.do(n.Rank, "exchangeany", n.Clock.Now(), items, func(ins []collIn, outs []collOut) {
-		p := n.m.cfg.P
-		t0 := maxEntry(ins)
-		bw := n.m.cfg.Model.EffNetBandwidth(p)
-		lat := n.m.latencyTerm()
-		for i := 0; i < p; i++ {
-			recv := make([]any, p)
-			for j := 0; j < p; j++ {
-				recv[j] = ins[j].data.([]any)[i]
-			}
-			net := float64((p-1)*nominalBytes)/bw + lat
-			outs[i] = collOut{t: t0 + net, data: recv, net: net, msgs: int64(p - 1)}
-		}
-	})
-	n.charge(out)
-	return out.data.([]any)
-}
-
-// Send transmits payload to PE dst with a tag; the NIC cost is charged
-// and the arrival time stamped so the receiver's clock synchronises.
-func (n *Node) Send(dst, tag int, payload []byte) {
-	model := n.m.cfg.Model
-	dur := float64(len(payload)) / model.EffNetBandwidth(n.P)
-	st := n.Clock.Cur()
-	st.NetTime += dur
-	st.BytesSent += int64(len(payload))
-	arrival := n.Clock.Now() + dur + model.NetLatency
-	n.m.p2p[n.Rank*n.P+dst] <- message{tag: tag, payload: payload, arrival: arrival}
-}
-
-// Recv blocks for the next message from src with the given tag,
-// advancing this PE's clock to its arrival time. Messages from one
-// sender arrive in order; a tag mismatch is a protocol bug and fails
-// the machine.
-func (n *Node) Recv(src, tag int) []byte {
-	msg := <-n.m.p2p[src*n.P+n.Rank]
-	if msg.tag != tag {
-		n.m.fail(fmt.Errorf("cluster: PE %d expected tag %d from %d, got %d", n.Rank, tag, src, msg.tag))
-		panic(abort{})
-	}
-	n.Clock.AdvanceTo(msg.arrival)
-	st := n.Clock.Cur()
-	st.BytesRecv += int64(len(msg.payload))
-	// Count the message on the receive side, matching the collectives
-	// (AllToAllv/AllGather/Bcast all count incoming messages only);
-	// Send deliberately does not count, or every p2p message would be
-	// double-counted relative to collective traffic.
-	st.Messages++
-	return msg.payload
 }

@@ -1,11 +1,13 @@
-package cluster
+package sim
 
 import (
 	"bytes"
 	"errors"
 	"fmt"
 	"testing"
+	"time"
 
+	"demsort/internal/cluster"
 	"demsort/internal/vtime"
 )
 
@@ -21,11 +23,11 @@ func TestBarrierSynchronisesClocks(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer m.Close()
-	err = m.Run(func(n *Node) error {
-		n.Clock.AddCPU(float64(n.Rank)) // skewed clocks
+	err = m.Run(func(n *cluster.Node) error {
+		n.AddCPU(float64(n.Rank)) // skewed clocks
 		n.Barrier()
-		if n.Clock.Now() < 3 {
-			return fmt.Errorf("clock %v below slowest PE", n.Clock.Now())
+		if m.Clock(n.Rank).Now() < 3 {
+			return fmt.Errorf("clock %v below slowest PE", m.Clock(n.Rank).Now())
 		}
 		return nil
 	})
@@ -41,7 +43,7 @@ func TestAllToAllvRoutesData(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer m.Close()
-	err = m.Run(func(n *Node) error {
+	err = m.Run(func(n *cluster.Node) error {
 		send := make([][]byte, p)
 		for j := 0; j < p; j++ {
 			send[j] = []byte(fmt.Sprintf("from %d to %d", n.Rank, j))
@@ -66,11 +68,11 @@ func TestAllToAllvSelfMessageFree(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer m.Close()
-	err = m.Run(func(n *Node) error {
+	err = m.Run(func(n *cluster.Node) error {
 		send := make([][]byte, 2)
 		send[n.Rank] = bytes.Repeat([]byte{1}, 1<<20) // only self traffic
 		n.AllToAllv(send)
-		_, stats := n.Clock.Stats()
+		_, stats := n.PhaseStats()
 		if st := stats["init"]; st.BytesSent != 0 || st.BytesRecv != 0 {
 			return fmt.Errorf("self message hit the network: %+v", st)
 		}
@@ -88,7 +90,7 @@ func TestAllGatherAndBcast(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer m.Close()
-	err = m.Run(func(n *Node) error {
+	err = m.Run(func(n *cluster.Node) error {
 		all := n.AllGather([]byte{byte(n.Rank * 10)})
 		for j := 0; j < p; j++ {
 			if all[j][0] != byte(j*10) {
@@ -113,7 +115,7 @@ func TestAllReduce(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer m.Close()
-	err = m.Run(func(n *Node) error {
+	err = m.Run(func(n *cluster.Node) error {
 		v := int64(n.Rank + 1)
 		if got := n.AllReduceInt64(v, "sum"); got != 10 {
 			return fmt.Errorf("sum %d", got)
@@ -137,7 +139,7 @@ func TestSendRecvOrdering(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer m.Close()
-	err = m.Run(func(n *Node) error {
+	err = m.Run(func(n *cluster.Node) error {
 		if n.Rank == 0 {
 			for i := 0; i < 10; i++ {
 				n.Send(1, 7, []byte{byte(i)})
@@ -157,6 +159,103 @@ func TestSendRecvOrdering(t *testing.T) {
 	}
 }
 
+// TestDeepP2PDoesNotDeadlock is the regression test for the fixed
+// 1024-deep p2p inboxes: both PEs push far more messages than any
+// fixed channel capacity before either receives. With bounded-channel
+// inboxes both senders block with full inboxes on each side and the
+// machine deadlocks; growable mailboxes (initial capacity from
+// Config.P2PDepth) absorb the burst.
+func TestDeepP2PDoesNotDeadlock(t *testing.T) {
+	const burst = 8192 // far beyond the historical 1024-deep inboxes
+	cfg := testConfig(2)
+	cfg.P2PDepth = 16 // deliberately tiny: growth must cover the burst
+	m, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Close()
+	done := make(chan error, 1)
+	go func() {
+		done <- m.Run(func(n *cluster.Node) error {
+			peer := 1 - n.Rank
+			for i := 0; i < burst; i++ {
+				n.Send(peer, 3, []byte{byte(i)})
+			}
+			for i := 0; i < burst; i++ {
+				got := n.Recv(peer, 3)
+				if got[0] != byte(i) {
+					return fmt.Errorf("message %d out of order: %d", i, got[0])
+				}
+			}
+			return nil
+		})
+	}()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatal(err)
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("deadlocked: p2p inboxes blocked both senders")
+	}
+}
+
+// TestRecvUnblocksOnPeerFailure: a PE blocked in Recv must unwind when
+// another PE fails (previously it would block forever on its inbox
+// channel and hang Run).
+func TestRecvUnblocksOnPeerFailure(t *testing.T) {
+	m, err := New(testConfig(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Close()
+	sentinel := errors.New("boom")
+	done := make(chan error, 1)
+	go func() {
+		done <- m.Run(func(n *cluster.Node) error {
+			if n.Rank == 0 {
+				return sentinel
+			}
+			n.Recv(0, 1) // never sent
+			return nil
+		})
+	}()
+	select {
+	case err := <-done:
+		if err == nil || !errors.Is(err, sentinel) {
+			t.Fatalf("got %v, want wrapped sentinel", err)
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("Recv did not unblock on peer failure")
+	}
+}
+
+func TestExchangeAnyRoutesItems(t *testing.T) {
+	const p = 4
+	m, err := New(testConfig(p))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Close()
+	err = m.Run(func(n *cluster.Node) error {
+		items := make([]any, p)
+		for j := 0; j < p; j++ {
+			items[j] = fmt.Sprintf("%d->%d", n.Rank, j)
+		}
+		got := n.ExchangeAny(items, 16)
+		for j := 0; j < p; j++ {
+			want := fmt.Sprintf("%d->%d", j, n.Rank)
+			if got[j] != want {
+				return fmt.Errorf("got[%d] = %v, want %v", j, got[j], want)
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
 func TestErrorPropagatesWithoutDeadlock(t *testing.T) {
 	m, err := New(testConfig(4))
 	if err != nil {
@@ -164,7 +263,7 @@ func TestErrorPropagatesWithoutDeadlock(t *testing.T) {
 	}
 	defer m.Close()
 	sentinel := errors.New("boom")
-	err = m.Run(func(n *Node) error {
+	err = m.Run(func(n *cluster.Node) error {
 		if n.Rank == 2 {
 			return sentinel // others are blocked in the barrier
 		}
@@ -183,7 +282,7 @@ func TestPanicPropagates(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer m.Close()
-	err = m.Run(func(n *Node) error {
+	err = m.Run(func(n *cluster.Node) error {
 		if n.Rank == 1 {
 			panic("kaboom")
 		}
@@ -201,7 +300,7 @@ func TestCollectiveMismatchDetected(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer m.Close()
-	err = m.Run(func(n *Node) error {
+	err = m.Run(func(n *cluster.Node) error {
 		if n.Rank == 0 {
 			n.Barrier()
 		} else {
@@ -221,14 +320,14 @@ func TestDeterministicVirtualTime(t *testing.T) {
 			t.Fatal(err)
 		}
 		defer m.Close()
-		err = m.Run(func(n *Node) error {
+		err = m.Run(func(n *cluster.Node) error {
 			for round := 0; round < 5; round++ {
 				send := make([][]byte, 8)
 				for j := range send {
 					send[j] = make([]byte, (n.Rank+1)*(j+1)*100)
 				}
 				n.AllToAllv(send)
-				n.Clock.AddCPU(float64(n.Rank) * 0.001)
+				n.AddCPU(float64(n.Rank) * 0.001)
 			}
 			n.Barrier()
 			return nil
@@ -237,8 +336,8 @@ func TestDeterministicVirtualTime(t *testing.T) {
 			t.Fatal(err)
 		}
 		var times []float64
-		for _, node := range m.Nodes() {
-			times = append(times, node.Clock.Now())
+		for rank := range m.Nodes() {
+			times = append(times, m.Clock(rank).Now())
 		}
 		return times
 	}
@@ -261,7 +360,7 @@ func TestCongestionSlowsBigMachines(t *testing.T) {
 		}
 		defer m.Close()
 		var t0 float64
-		err = m.Run(func(n *Node) error {
+		err = m.Run(func(n *cluster.Node) error {
 			send := make([][]byte, p)
 			for j := range send {
 				if j != n.Rank {
@@ -270,7 +369,7 @@ func TestCongestionSlowsBigMachines(t *testing.T) {
 			}
 			n.AllToAllv(send)
 			if n.Rank == 0 {
-				t0 = n.Clock.Now()
+				t0 = m.Clock(0).Now()
 			}
 			return nil
 		})
@@ -290,7 +389,7 @@ func TestVolumesIsolatedPerPE(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer m.Close()
-	err = m.Run(func(n *Node) error {
+	err = m.Run(func(n *cluster.Node) error {
 		id := n.Vol.Alloc()
 		payload := bytes.Repeat([]byte{byte(n.Rank + 1)}, 8)
 		n.Vol.WriteAsync(id, payload)

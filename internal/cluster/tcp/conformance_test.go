@@ -1,0 +1,175 @@
+package tcp_test
+
+// Cross-backend conformance: the seeded canonical workload sorted by
+// CANONICALMERGESORT must produce byte-identical output — and matching
+// valsort summaries — whether the phases run on the in-process sim
+// backend or on tcp machines speaking the real wire protocol over
+// localhost sockets. This is the contract that makes the sim figures
+// transferable to real deployments.
+
+import (
+	"bytes"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"demsort/internal/cluster/tcp"
+	"demsort/internal/core"
+	"demsort/internal/elem"
+	"demsort/internal/sortbench"
+	"demsort/internal/vtime"
+)
+
+const (
+	confSeed  = 42
+	confNPer  = 3000 // records per PE
+	confBlock = 1024
+	confMem   = 8192
+)
+
+func confConfig(p int) core.Config {
+	cfg := core.DefaultConfig(p, confMem, confBlock)
+	cfg.Seed = confSeed
+	cfg.KeepOutput = true
+	model := vtime.Default()
+	model.DiskJitter = 0
+	cfg.Model = model
+	return cfg
+}
+
+func confInput(rank int) []elem.Rec100 {
+	return sortbench.Generate(confSeed, int64(rank)*confNPer, confNPer)
+}
+
+// sortSim runs the workload on the sim backend and returns the encoded
+// per-rank outputs.
+func sortSim(t *testing.T, p int) [][]byte {
+	t.Helper()
+	input := make([][]elem.Rec100, p)
+	for rank := range input {
+		input[rank] = confInput(rank)
+	}
+	res, err := core.Sort[elem.Rec100](elem.Rec100Codec{}, confConfig(p), input)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := make([][]byte, p)
+	for rank := range out {
+		out[rank] = elem.EncodeSlice(elem.Rec100Codec{}, res.Output[rank])
+	}
+	return out
+}
+
+// sortTCP runs the same workload on p tcp machines (one goroutine
+// each, real localhost sockets) and returns the encoded per-rank
+// outputs.
+func sortTCP(t *testing.T, p int) [][]byte {
+	t.Helper()
+	peers := reservePorts(t, p)
+	out := make([][]byte, p)
+	errs := make([]error, p)
+	var wg sync.WaitGroup
+	for rank := 0; rank < p; rank++ {
+		wg.Add(1)
+		go func(rank int) {
+			defer wg.Done()
+			m, err := tcp.New(tcp.Config{
+				Rank:           rank,
+				Peers:          peers,
+				BlockBytes:     confBlock,
+				MemElems:       confMem,
+				ConnectTimeout: 20 * time.Second,
+			})
+			if err != nil {
+				errs[rank] = err
+				return
+			}
+			defer m.Close()
+			cfg := confConfig(p)
+			cfg.Machine = m
+			input := make([][]elem.Rec100, p)
+			input[rank] = confInput(rank)
+			res, err := core.Sort[elem.Rec100](elem.Rec100Codec{}, cfg, input)
+			if err != nil {
+				errs[rank] = err
+				return
+			}
+			if res.N != int64(p)*confNPer {
+				errs[rank] = fmt.Errorf("global N = %d, want %d", res.N, int64(p)*confNPer)
+				return
+			}
+			out[rank] = elem.EncodeSlice(elem.Rec100Codec{}, res.Output[rank])
+		}(rank)
+	}
+	wg.Wait()
+	for rank, err := range errs {
+		if err != nil {
+			t.Fatalf("tcp rank %d: %v", rank, err)
+		}
+	}
+	return out
+}
+
+func reservePorts(t *testing.T, p int) []string {
+	t.Helper()
+	addrs, err := tcp.ReservePorts(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return addrs
+}
+
+func decodeParts(parts [][]byte) [][]elem.Rec100 {
+	out := make([][]elem.Rec100, len(parts))
+	for i, part := range parts {
+		out[i] = elem.DecodeSlice(elem.Rec100Codec{}, part, len(part)/100)
+	}
+	return out
+}
+
+func TestSimTCPConformance(t *testing.T) {
+	for _, p := range []int{2, 4} {
+		t.Run(fmt.Sprintf("P%d", p), func(t *testing.T) {
+			simOut := sortSim(t, p)
+			tcpOut := sortTCP(t, p)
+			for rank := 0; rank < p; rank++ {
+				if !bytes.Equal(simOut[rank], tcpOut[rank]) {
+					t.Fatalf("rank %d: sim and tcp outputs differ (%d vs %d bytes)",
+						rank, len(simOut[rank]), len(tcpOut[rank]))
+				}
+			}
+
+			// valsort summaries: per-partition validation merged across
+			// boundaries must match between backends and against the
+			// generator's digest.
+			var simSums, tcpSums []sortbench.Summary
+			for _, part := range decodeParts(simOut) {
+				simSums = append(simSums, sortbench.Validate(part))
+			}
+			for _, part := range decodeParts(tcpOut) {
+				tcpSums = append(tcpSums, sortbench.Validate(part))
+			}
+			simAll := sortbench.Merge(simSums)
+			tcpAll := sortbench.Merge(tcpSums)
+			if simAll.Records != tcpAll.Records || simAll.Unsorted != tcpAll.Unsorted ||
+				simAll.Checksum != tcpAll.Checksum || simAll.Duplicate != tcpAll.Duplicate {
+				t.Fatalf("valsort summaries differ: sim %+v vs tcp %+v", simAll, tcpAll)
+			}
+			if tcpAll.Unsorted != 0 {
+				t.Fatalf("tcp output not sorted: %d inversions", tcpAll.Unsorted)
+			}
+			want := sortbench.Validate(func() []elem.Rec100 {
+				var all []elem.Rec100
+				for rank := 0; rank < p; rank++ {
+					all = append(all, confInput(rank)...)
+				}
+				return all
+			}())
+			if tcpAll.Records != want.Records || tcpAll.Checksum != want.Checksum {
+				t.Fatalf("output is not a permutation of the input: got %d/%016x, want %d/%016x",
+					tcpAll.Records, tcpAll.Checksum, want.Records, want.Checksum)
+			}
+		})
+	}
+}

@@ -1,0 +1,820 @@
+// Package tcp is the real-process backend of the cluster transport
+// plane: one OS process per PE, exchanging length-prefixed framed
+// messages over persistent pairwise TCP connections (localhost or a
+// host list). It plays the role MVAPICH plays in the paper — the
+// collectives are built from point-to-point primitives with simple
+// flat/pairwise schedules, because correctness and streaming (the
+// all-to-all never funnels the machine's P² streams through one node)
+// are the point here, not topology tuning.
+//
+// Timing differs from the sim backend by design: a tcp PE reports real
+// wall-clock seconds per phase (cluster.Stats backed by time.Now), and
+// modelled CPU charges are no-ops — the computation itself is already
+// on the wall. Disk traffic is still tracked through the PE's
+// blockio.Volume byte counters.
+//
+// Wire protocol, per frame: a 12-byte header (int32 tag, uint64
+// payload length, both little-endian) followed by the payload. Like
+// the paper's re-implemented MPI_Alltoallv, there is no message-size
+// limit. Tags <= -1000 are reserved for the collectives; phase-level
+// Send/Recv may use any tag above that. A per-peer reader goroutine
+// drains its socket into an unbounded mailbox, so senders never block
+// on the receiver's progress (eager buffering) and pairwise collective
+// schedules cannot deadlock.
+//
+// ExchangeAny crosses address spaces, so items must be gob-encodable;
+// common scalar and slice types are pre-registered, anything else
+// needs gob.Register at both ends.
+package tcp
+
+import (
+	"bytes"
+	"encoding/binary"
+	"encoding/gob"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"demsort/internal/blockio"
+	"demsort/internal/bufpool"
+	"demsort/internal/cluster"
+	"demsort/internal/membudget"
+	"demsort/internal/vtime"
+)
+
+// Reserved collective tags (outside the phase-level tag space).
+const (
+	tagBarrier    = -1000
+	tagBarrierAck = -1001
+	tagGather     = -1002
+	tagGatherVec  = -1003
+	tagBcast      = -1004
+	tagReduce     = -1005
+	tagReduceRes  = -1006
+	tagA2A        = -1007
+	tagXAny       = -1008
+	tagClose      = -1009 // goodbye: the peer is shutting down cleanly
+)
+
+// handshake magic prefixing the dialer's rank announcement.
+const magic = 0x44454d53 // "DEMS"
+
+func init() {
+	// Common metadata types so ExchangeAny works out of the box.
+	gob.Register([]byte(nil))
+	gob.Register([]int64(nil))
+	gob.Register([]uint64(nil))
+	gob.Register(int64(0))
+	gob.Register(uint64(0))
+	gob.Register("")
+}
+
+// Config describes this process's PE and the machine it joins.
+type Config struct {
+	// Rank is this process's PE index in 0..P-1.
+	Rank int
+	// Peers lists every PE's listen address ("host:port"), indexed by
+	// rank; len(Peers) is the machine size P.
+	Peers []string
+	// Listen optionally overrides the address this PE binds
+	// (defaults to Peers[Rank]; useful behind NAT or with 0.0.0.0).
+	Listen string
+	// BlockBytes is the external-memory block size B in bytes.
+	BlockBytes int
+	// MemElems is the per-PE internal memory budget in elements.
+	MemElems int64
+	// Model parameterises the PE's Volume accounting (modelled I/O
+	// durations; byte counters are real). Zero value: vtime.Default.
+	Model vtime.CostModel
+	// NewStore creates the block store backing this PE's volume; nil
+	// defaults to a RAM-backed store.
+	NewStore func(rank int) (blockio.Store, error)
+	// ConnectTimeout bounds connection establishment (dial retries
+	// plus accepts); 0 means 30s.
+	ConnectTimeout time.Duration
+}
+
+// Machine hosts this process's single PE; it implements both
+// cluster.Machine and cluster.Transport.
+type Machine struct {
+	cfg   Config
+	rank  int
+	p     int
+	ln    net.Listener
+	peers []*peerConn // by rank; nil for self
+	node  *cluster.Node
+	clock *vtime.Clock
+	stats *wallStats
+
+	closed    atomic.Bool
+	abortOnce sync.Once
+	abortFlag atomic.Bool
+	abortErr  error
+	abortMu   sync.Mutex
+}
+
+type peerConn struct {
+	conn net.Conn
+	wmu  sync.Mutex
+	box  *mailbox
+}
+
+// sayGoodbye tells the peer this rank is shutting down cleanly, so a
+// subsequent EOF on the connection is not treated as a lost peer
+// (ranks of one machine may finish at different times; a fast rank's
+// Close must not abort a slow rank still mid-collective with others).
+func (pc *peerConn) sayGoodbye() {
+	var hdr [12]byte
+	tag := int32(tagClose)
+	binary.LittleEndian.PutUint32(hdr[:4], uint32(tag))
+	pc.wmu.Lock()
+	pc.conn.Write(hdr[:]) // best effort: the conn may already be gone
+	pc.wmu.Unlock()
+}
+
+// New joins the machine: it binds the local listen address, connects
+// to every peer (rank i dials every rank below it and accepts from
+// every rank above, so each pair shares one persistent connection) and
+// assembles the PE context. Every process of the machine must call New
+// with the same Peers list within ConnectTimeout of each other.
+func New(cfg Config) (*Machine, error) {
+	p := len(cfg.Peers)
+	if p < 1 {
+		return nil, fmt.Errorf("tcp: empty peer list")
+	}
+	if cfg.Rank < 0 || cfg.Rank >= p {
+		return nil, fmt.Errorf("tcp: rank %d outside peer list of %d", cfg.Rank, p)
+	}
+	if cfg.BlockBytes <= 0 {
+		return nil, fmt.Errorf("tcp: block size must be positive, got %d", cfg.BlockBytes)
+	}
+	if cfg.Model == (vtime.CostModel{}) {
+		cfg.Model = vtime.Default()
+	}
+	if cfg.ConnectTimeout <= 0 {
+		cfg.ConnectTimeout = 30 * time.Second
+	}
+	m := &Machine{cfg: cfg, rank: cfg.Rank, p: p, peers: make([]*peerConn, p)}
+	m.peers[cfg.Rank] = &peerConn{box: newMailbox()} // rank-local messages
+
+	if p > 1 {
+		addr := cfg.Listen
+		if addr == "" {
+			addr = cfg.Peers[cfg.Rank]
+		}
+		ln, err := net.Listen("tcp", addr)
+		if err != nil {
+			return nil, fmt.Errorf("tcp: rank %d listen %s: %w", cfg.Rank, addr, err)
+		}
+		m.ln = ln
+		if err := m.connect(); err != nil {
+			m.Close()
+			return nil, err
+		}
+	}
+
+	var store blockio.Store
+	var err error
+	if cfg.NewStore != nil {
+		store, err = cfg.NewStore(cfg.Rank)
+	} else {
+		store = blockio.NewMemStore()
+	}
+	if err != nil {
+		m.Close()
+		return nil, err
+	}
+	m.clock = vtime.NewClock()
+	m.stats = newWallStats(m.clock)
+	m.node = cluster.NewNode(
+		m,
+		m.stats,
+		blockio.NewVolume(store, cfg.BlockBytes, cfg.Rank, cfg.Model, m.clock),
+		membudget.New(cfg.MemElems),
+	)
+	return m, nil
+}
+
+// connect establishes the pairwise connections: accept from higher
+// ranks while dialing lower ranks (with retries — peers may still be
+// starting up).
+func (m *Machine) connect() error {
+	deadline := time.Now().Add(m.cfg.ConnectTimeout)
+	errCh := make(chan error, 2)
+	var wg sync.WaitGroup
+
+	// Accept from every higher rank.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for accepted := 0; accepted < m.p-1-m.rank; accepted++ {
+			if d, ok := m.ln.(*net.TCPListener); ok {
+				d.SetDeadline(deadline)
+			}
+			conn, err := m.ln.Accept()
+			if err != nil {
+				errCh <- fmt.Errorf("tcp: rank %d accept: %w", m.rank, err)
+				return
+			}
+			var hs [8]byte
+			if _, err := io.ReadFull(conn, hs[:]); err != nil {
+				errCh <- fmt.Errorf("tcp: rank %d handshake read: %w", m.rank, err)
+				return
+			}
+			if binary.LittleEndian.Uint32(hs[:4]) != magic {
+				errCh <- fmt.Errorf("tcp: rank %d: bad handshake magic", m.rank)
+				return
+			}
+			src := int(binary.LittleEndian.Uint32(hs[4:8]))
+			if src <= m.rank || src >= m.p || m.peers[src] != nil {
+				errCh <- fmt.Errorf("tcp: rank %d: unexpected handshake from rank %d", m.rank, src)
+				return
+			}
+			m.registerPeer(src, conn)
+		}
+	}()
+
+	// Dial every lower rank.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for dst := 0; dst < m.rank; dst++ {
+			var conn net.Conn
+			var err error
+			for {
+				conn, err = net.DialTimeout("tcp", m.cfg.Peers[dst], time.Second)
+				if err == nil || time.Now().After(deadline) {
+					break
+				}
+				time.Sleep(50 * time.Millisecond)
+			}
+			if err != nil {
+				errCh <- fmt.Errorf("tcp: rank %d dial rank %d (%s): %w", m.rank, dst, m.cfg.Peers[dst], err)
+				return
+			}
+			var hs [8]byte
+			binary.LittleEndian.PutUint32(hs[:4], magic)
+			binary.LittleEndian.PutUint32(hs[4:8], uint32(m.rank))
+			if _, err := conn.Write(hs[:]); err != nil {
+				errCh <- fmt.Errorf("tcp: rank %d handshake write to %d: %w", m.rank, dst, err)
+				return
+			}
+			m.registerPeer(dst, conn)
+		}
+	}()
+
+	wg.Wait()
+	select {
+	case err := <-errCh:
+		return err
+	default:
+	}
+	for src := range m.peers {
+		if src != m.rank && m.peers[src] == nil {
+			return fmt.Errorf("tcp: rank %d: no connection to rank %d", m.rank, src)
+		}
+	}
+	return nil
+}
+
+func (m *Machine) registerPeer(rank int, conn net.Conn) {
+	if tc, ok := conn.(*net.TCPConn); ok {
+		tc.SetNoDelay(true)
+	}
+	pc := &peerConn{conn: conn, box: newMailbox()}
+	m.peers[rank] = pc
+	go m.readLoop(rank, pc)
+}
+
+// readLoop drains one peer's socket into its mailbox; it owns the read
+// side of the connection. Payload buffers come from the shared arena
+// and are owned by the consumer after delivery (RecycleRecv applies).
+func (m *Machine) readLoop(src int, pc *peerConn) {
+	var hdr [12]byte
+	for {
+		if _, err := io.ReadFull(pc.conn, hdr[:]); err != nil {
+			if !m.closed.Load() && !m.abortFlag.Load() && !pc.box.isClosed() {
+				m.fail(fmt.Errorf("tcp: rank %d lost rank %d: %w", m.rank, src, err))
+			}
+			return
+		}
+		tag := int(int32(binary.LittleEndian.Uint32(hdr[:4])))
+		if tag == tagClose {
+			// The peer is done; any frames it owed us are already in
+			// the mailbox (TCP is ordered), so a later empty wait on
+			// this peer is a genuine protocol error, not a race.
+			pc.box.close()
+			continue
+		}
+		size := binary.LittleEndian.Uint64(hdr[4:12])
+		payload := bufpool.Get(int(size))
+		if _, err := io.ReadFull(pc.conn, payload); err != nil {
+			if !m.closed.Load() && !m.abortFlag.Load() {
+				m.fail(fmt.Errorf("tcp: rank %d lost rank %d mid-frame: %w", m.rank, src, err))
+			}
+			return
+		}
+		pc.box.push(frame{tag: tag, payload: payload})
+	}
+}
+
+// Close says goodbye to every peer, then tears down connections,
+// listener and the store.
+func (m *Machine) Close() error {
+	for _, pc := range m.peers {
+		if pc != nil && pc.conn != nil && !m.closed.Load() && !m.abortFlag.Load() {
+			pc.sayGoodbye()
+		}
+	}
+	m.closed.Store(true)
+	for _, pc := range m.peers {
+		if pc != nil {
+			if pc.conn != nil {
+				pc.conn.Close()
+			}
+			pc.box.wakeAll()
+		}
+	}
+	if m.ln != nil {
+		m.ln.Close()
+	}
+	if m.node != nil {
+		return m.node.Vol.Store().Close()
+	}
+	return nil
+}
+
+// Nodes returns the locally hosted PE contexts: exactly one.
+func (m *Machine) Nodes() []*cluster.Node { return []*cluster.Node{m.node} }
+
+// P returns the machine size.
+func (m *Machine) P() int { return m.p }
+
+// Rank implements cluster.Transport.
+func (m *Machine) Rank() int { return m.rank }
+
+// Config returns the machine configuration.
+func (m *Machine) Config() Config { return m.cfg }
+
+// tcpAbort is panicked through the PE program when the machine fails,
+// so Run unwinds instead of hanging on a dead transport.
+type tcpAbort struct{}
+
+func (m *Machine) fail(err error) {
+	m.abortOnce.Do(func() {
+		m.abortMu.Lock()
+		m.abortErr = err
+		m.abortMu.Unlock()
+		m.abortFlag.Store(true)
+		for _, pc := range m.peers {
+			if pc != nil {
+				pc.box.wakeAll()
+			}
+		}
+	})
+}
+
+func (m *Machine) failNow(err error) {
+	m.fail(err)
+	panic(tcpAbort{})
+}
+
+// Run executes fn on the local PE (in the calling goroutine) and
+// returns its error, or the transport failure that unwound it.
+func (m *Machine) Run(fn func(*cluster.Node) error) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			if _, ok := r.(tcpAbort); ok {
+				m.abortMu.Lock()
+				err = m.abortErr
+				m.abortMu.Unlock()
+				return
+			}
+			err = fmt.Errorf("tcp: PE %d panicked: %v", m.rank, r)
+		}
+	}()
+	if err := fn(m.node); err != nil {
+		return fmt.Errorf("PE %d: %w", m.rank, err)
+	}
+	return nil
+}
+
+// ---------------------------------------------------------------------
+// Framed point-to-point primitives.
+// ---------------------------------------------------------------------
+
+type frame struct {
+	tag     int
+	payload []byte
+}
+
+// mailbox is an unbounded FIFO of received frames (one per peer); the
+// reader goroutine pushes, the PE program pops. closed marks a clean
+// goodbye from the peer: frames already delivered stay poppable, but
+// an empty wait will never be satisfied.
+type mailbox struct {
+	mu      sync.Mutex
+	cond    *sync.Cond
+	q       []frame
+	head    int
+	peerBye bool
+}
+
+func newMailbox() *mailbox {
+	b := &mailbox{}
+	b.cond = sync.NewCond(&b.mu)
+	return b
+}
+
+func (b *mailbox) push(f frame) {
+	b.mu.Lock()
+	b.q = append(b.q, f)
+	b.cond.Signal()
+	b.mu.Unlock()
+}
+
+func (b *mailbox) close() {
+	b.mu.Lock()
+	b.peerBye = true
+	b.cond.Broadcast()
+	b.mu.Unlock()
+}
+
+func (b *mailbox) isClosed() bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.peerBye
+}
+
+func (b *mailbox) pop(m *Machine) (frame, bool) {
+	b.mu.Lock()
+	for b.head == len(b.q) && !b.peerBye && !m.abortFlag.Load() && !m.closed.Load() {
+		b.cond.Wait()
+	}
+	if b.head == len(b.q) {
+		b.mu.Unlock()
+		return frame{}, false
+	}
+	f := b.q[b.head]
+	b.q[b.head] = frame{}
+	b.head++
+	if b.head == len(b.q) {
+		b.q = b.q[:0]
+		b.head = 0
+	} else if b.head > 32 && b.head*2 >= len(b.q) {
+		// Compact once the dead prefix dominates, so a queue that
+		// never fully drains (a peer staying a round ahead for a whole
+		// phase) keeps a bounded footprint instead of growing with the
+		// total frame count.
+		n := copy(b.q, b.q[b.head:])
+		clear(b.q[n:])
+		b.q = b.q[:n]
+		b.head = 0
+	}
+	b.mu.Unlock()
+	return f, true
+}
+
+func (b *mailbox) wakeAll() {
+	b.mu.Lock()
+	b.cond.Broadcast()
+	b.mu.Unlock()
+}
+
+// sendFrame writes one frame to dst (self-delivery bypasses the
+// network and the byte counters, matching the sim backend).
+func (m *Machine) sendFrame(dst, tag int, payload []byte) {
+	if dst == m.rank {
+		m.peers[m.rank].box.push(frame{tag: tag, payload: payload})
+		return
+	}
+	pc := m.peers[dst]
+	var hdr [12]byte
+	binary.LittleEndian.PutUint32(hdr[:4], uint32(int32(tag)))
+	binary.LittleEndian.PutUint64(hdr[4:12], uint64(len(payload)))
+	bufs := net.Buffers{hdr[:], payload}
+	if len(payload) == 0 {
+		bufs = bufs[:1]
+	}
+	pc.wmu.Lock()
+	_, err := bufs.WriteTo(pc.conn)
+	pc.wmu.Unlock()
+	if err != nil {
+		m.failNow(fmt.Errorf("tcp: rank %d send to %d: %w", m.rank, dst, err))
+	}
+	st := m.clock.Cur()
+	st.BytesSent += int64(len(payload))
+}
+
+// recvFrame blocks for the next frame from src and enforces the tag
+// protocol; the wait is charged as network time.
+func (m *Machine) recvFrame(src, tag int) []byte {
+	box := m.peers[src].box
+	t0 := time.Now()
+	f, ok := box.pop(m)
+	if !ok {
+		if m.abortFlag.Load() {
+			panic(tcpAbort{})
+		}
+		m.failNow(fmt.Errorf("tcp: rank %d waiting on rank %d, which has shut down", m.rank, src))
+	}
+	if f.tag != tag {
+		m.failNow(fmt.Errorf("tcp: rank %d expected tag %d from %d, got %d", m.rank, tag, src, f.tag))
+	}
+	st := m.clock.Cur()
+	st.NetTime += time.Since(t0).Seconds()
+	if src != m.rank {
+		st.BytesRecv += int64(len(f.payload))
+		st.Messages++
+	}
+	return f.payload
+}
+
+// Send implements cluster.Transport (phase-level tags must be above
+// the reserved collective range).
+func (m *Machine) Send(dst, tag int, payload []byte) {
+	if tag <= tagBarrier {
+		m.failNow(fmt.Errorf("tcp: tag %d is reserved for collectives", tag))
+	}
+	m.sendFrame(dst, tag, payload)
+}
+
+// Recv implements cluster.Transport.
+func (m *Machine) Recv(src, tag int) []byte {
+	if tag <= tagBarrier {
+		m.failNow(fmt.Errorf("tcp: tag %d is reserved for collectives", tag))
+	}
+	return m.recvFrame(src, tag)
+}
+
+// ---------------------------------------------------------------------
+// Collectives from point-to-point.
+// ---------------------------------------------------------------------
+
+// Barrier implements cluster.Transport: flat gather to rank 0 plus
+// release.
+func (m *Machine) Barrier() {
+	if m.p == 1 {
+		return
+	}
+	if m.rank == 0 {
+		for src := 1; src < m.p; src++ {
+			m.recvFrame(src, tagBarrier)
+		}
+		for dst := 1; dst < m.p; dst++ {
+			m.sendFrame(dst, tagBarrierAck, nil)
+		}
+		return
+	}
+	m.sendFrame(0, tagBarrier, nil)
+	m.recvFrame(0, tagBarrierAck)
+}
+
+// AllToAllv implements cluster.Transport with a pairwise schedule:
+// round d exchanges with ranks (rank±d) mod P, so each PE stages only
+// its own O(N/P) send and receive buffers and the machine's P² streams
+// never funnel through one node. Eager reader-side buffering makes the
+// schedule deadlock-free even when ranks progress at different rates.
+func (m *Machine) AllToAllv(send [][]byte) [][]byte {
+	if len(send) != m.p {
+		m.failNow(fmt.Errorf("tcp: AllToAllv needs %d destination slots, got %d", m.p, len(send)))
+	}
+	recv := make([][]byte, m.p)
+	recv[m.rank] = send[m.rank] // self-message: delivered uncopied, off-network
+	for d := 1; d < m.p; d++ {
+		dst := (m.rank + d) % m.p
+		src := (m.rank + m.p - d) % m.p
+		m.sendFrame(dst, tagA2A, send[dst])
+		recv[src] = m.recvFrame(src, tagA2A)
+	}
+	return recv
+}
+
+// AllGather implements cluster.Transport: flat gather to rank 0, then
+// a broadcast of the length-prefixed concatenation (shared
+// structurally by the decoded slices).
+func (m *Machine) AllGather(data []byte) [][]byte {
+	if m.p == 1 {
+		return [][]byte{data}
+	}
+	if m.rank == 0 {
+		parts := make([][]byte, m.p)
+		parts[0] = data
+		for src := 1; src < m.p; src++ {
+			parts[src] = m.recvFrame(src, tagGather)
+		}
+		vec := encodeVec(parts)
+		for dst := 1; dst < m.p; dst++ {
+			m.sendFrame(dst, tagGatherVec, vec)
+		}
+		return parts
+	}
+	m.sendFrame(0, tagGather, data)
+	return decodeVec(m.recvFrame(0, tagGatherVec), m.p)
+}
+
+// Bcast implements cluster.Transport: flat root-to-all.
+func (m *Machine) Bcast(root int, data []byte) []byte {
+	if m.p == 1 {
+		return data
+	}
+	if m.rank == root {
+		for dst := 0; dst < m.p; dst++ {
+			if dst != root {
+				m.sendFrame(dst, tagBcast, data)
+			}
+		}
+		return data
+	}
+	return m.recvFrame(root, tagBcast)
+}
+
+// AllReduceInt64 implements cluster.Transport: reduce at rank 0, then
+// broadcast the result.
+func (m *Machine) AllReduceInt64(v int64, op string) int64 {
+	reduce := func(acc, x int64) int64 {
+		switch op {
+		case "sum":
+			return acc + x
+		case "max":
+			if x > acc {
+				return x
+			}
+			return acc
+		case "min":
+			if x < acc {
+				return x
+			}
+			return acc
+		case "or":
+			return acc | x
+		default:
+			m.failNow(fmt.Errorf("tcp: unknown reduce op %q", op))
+			return 0
+		}
+	}
+	if m.p == 1 {
+		reduce(0, 0) // still validate op
+		return v
+	}
+	var buf [8]byte
+	if m.rank == 0 {
+		acc := v
+		for src := 1; src < m.p; src++ {
+			x := m.recvFrame(src, tagReduce)
+			acc = reduce(acc, int64(binary.LittleEndian.Uint64(x)))
+			bufpool.Put(x)
+		}
+		binary.LittleEndian.PutUint64(buf[:], uint64(acc))
+		for dst := 1; dst < m.p; dst++ {
+			m.sendFrame(dst, tagReduceRes, buf[:])
+		}
+		return acc
+	}
+	binary.LittleEndian.PutUint64(buf[:], uint64(v))
+	m.sendFrame(0, tagReduce, buf[:])
+	res := m.recvFrame(0, tagReduceRes)
+	out := int64(binary.LittleEndian.Uint64(res))
+	bufpool.Put(res)
+	return out
+}
+
+// ExchangeAny implements cluster.Transport: items cross address
+// spaces gob-encoded, pairwise like AllToAllv. nominalBytes is a
+// cost-model parameter without meaning on this backend.
+func (m *Machine) ExchangeAny(items []any, nominalBytes int) []any {
+	if len(items) != m.p {
+		m.failNow(fmt.Errorf("tcp: ExchangeAny needs %d items, got %d", m.p, len(items)))
+	}
+	out := make([]any, m.p)
+	out[m.rank] = items[m.rank]
+	for d := 1; d < m.p; d++ {
+		dst := (m.rank + d) % m.p
+		src := (m.rank + m.p - d) % m.p
+		var buf bytes.Buffer
+		if err := gob.NewEncoder(&buf).Encode(&items[dst]); err != nil {
+			m.failNow(fmt.Errorf("tcp: ExchangeAny encode for %d: %w", dst, err))
+		}
+		m.sendFrame(dst, tagXAny, buf.Bytes())
+		payload := m.recvFrame(src, tagXAny)
+		var v any
+		if err := gob.NewDecoder(bytes.NewReader(payload)).Decode(&v); err != nil {
+			m.failNow(fmt.Errorf("tcp: ExchangeAny decode from %d: %w", src, err))
+		}
+		bufpool.Put(payload)
+		out[src] = v
+	}
+	return out
+}
+
+// ReservePorts picks p distinct free localhost listen addresses by
+// briefly binding 127.0.0.1:0 — the launcher's (and the tests') way to
+// build a Peers list. The listeners are closed before the machines
+// bind, so a rare race with another process grabbing a port in between
+// is possible; callers on contended hosts should pass explicit ports.
+func ReservePorts(p int) ([]string, error) {
+	addrs := make([]string, p)
+	lns := make([]net.Listener, 0, p)
+	defer func() {
+		for _, ln := range lns {
+			ln.Close()
+		}
+	}()
+	for i := 0; i < p; i++ {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			return nil, fmt.Errorf("tcp: reserving port %d of %d: %w", i, p, err)
+		}
+		lns = append(lns, ln)
+		addrs[i] = ln.Addr().String()
+	}
+	return addrs, nil
+}
+
+// encodeVec frames P byte slices as [P × uint64 length][concat].
+func encodeVec(parts [][]byte) []byte {
+	total := 8 * len(parts)
+	for _, p := range parts {
+		total += len(p)
+	}
+	vec := make([]byte, 0, total)
+	var tmp [8]byte
+	for _, p := range parts {
+		binary.LittleEndian.PutUint64(tmp[:], uint64(len(p)))
+		vec = append(vec, tmp[:]...)
+	}
+	for _, p := range parts {
+		vec = append(vec, p...)
+	}
+	return vec
+}
+
+// decodeVec slices an encodeVec payload back into P parts (sharing
+// the backing array — AllGather results are structurally shared).
+func decodeVec(vec []byte, p int) [][]byte {
+	parts := make([][]byte, p)
+	off := 8 * p
+	for i := 0; i < p; i++ {
+		n := int(binary.LittleEndian.Uint64(vec[8*i:]))
+		parts[i] = vec[off : off+n : off+n]
+		off += n
+	}
+	return parts
+}
+
+// ---------------------------------------------------------------------
+// Wall-clock stats.
+// ---------------------------------------------------------------------
+
+// wallStats implements cluster.Stats over real time: phase wall
+// seconds come from time.Now, byte/message counters ride on the
+// underlying clock's PhaseStats (which the Volume and the transport
+// already charge), and modelled CPU charges are dropped — the real
+// computation is already on the wall.
+type wallStats struct {
+	clock *vtime.Clock
+	start time.Time
+	wall  map[string]float64
+}
+
+func newWallStats(c *vtime.Clock) *wallStats {
+	return &wallStats{clock: c, start: time.Now(), wall: map[string]float64{}}
+}
+
+// SetPhase implements cluster.Stats.
+func (s *wallStats) SetPhase(name string) {
+	now := time.Now()
+	s.wall[s.clock.Phase()] += now.Sub(s.start).Seconds()
+	s.start = now
+	s.clock.SetPhase(name)
+}
+
+// Phase implements cluster.Stats.
+func (s *wallStats) Phase() string { return s.clock.Phase() }
+
+// AddCPU implements cluster.Stats: modelled charges are meaningless on
+// a wall-clock backend.
+func (s *wallStats) AddCPU(sec float64) {}
+
+// Stats implements cluster.Stats: the virtual clock's per-phase
+// counters with Wall replaced by measured wall-clock seconds.
+func (s *wallStats) Stats() (names []string, stats map[string]*vtime.PhaseStats) {
+	now := time.Now()
+	s.wall[s.clock.Phase()] += now.Sub(s.start).Seconds()
+	s.start = now
+	names, stats = s.clock.Stats()
+	for ph, st := range stats {
+		st.Wall = s.wall[ph]
+	}
+	return names, stats
+}
+
+// Interface conformance.
+var (
+	_ cluster.Machine   = (*Machine)(nil)
+	_ cluster.Transport = (*Machine)(nil)
+	_ cluster.Stats     = (*wallStats)(nil)
+)

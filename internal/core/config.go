@@ -24,6 +24,7 @@ import (
 	"fmt"
 
 	"demsort/internal/blockio"
+	"demsort/internal/cluster"
 	"demsort/internal/psort"
 	"demsort/internal/vtime"
 )
@@ -88,6 +89,15 @@ type Config struct {
 	// NewStore optionally overrides the per-PE block store (e.g.
 	// file-backed); nil uses RAM-backed stores.
 	NewStore func(rank int) (blockio.Store, error)
+	// Machine optionally supplies a pre-built transport backend (e.g.
+	// a cluster/tcp machine hosting this process's rank). nil builds a
+	// cluster/sim machine from the fields above and closes it after
+	// the sort; a supplied Machine is left open — its lifecycle
+	// belongs to the caller. With a remote backend only the locally
+	// hosted ranks appear in input/Result slots, and every process
+	// must pass the same per-PE input size (SampleK auto-sizing and
+	// capacity checks are derived from the local part).
+	Machine cluster.Machine
 }
 
 // DefaultConfig returns a ready-to-use configuration for p PEs with a

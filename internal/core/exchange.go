@@ -25,7 +25,7 @@ type streamSeg struct {
 // inputs (Figure 5). The result is, per run, this PE's sorted
 // destination range as a local file.
 func exchange[T any](c elem.Codec[T], n *cluster.Node, cfg *Config, d derived, meta *runsMeta[T], locals []localRun[T], split [][]int64) ([]File, int, error) {
-	n.Clock.SetPhase(PhaseExchange)
+	n.SetPhase(PhaseExchange)
 	me := n.Rank
 	r := len(locals)
 	sz := c.Size()
@@ -193,7 +193,7 @@ func exchange[T any](c elem.Codec[T], n *cluster.Node, cfg *Config, d derived, m
 				}
 			}
 			send[q] = buf
-			n.Clock.AddCPU(cfg.Model.ScanCPU((wHi - wLo)))
+			n.AddCPU(cfg.Model.ScanCPU((wHi - wLo)))
 		}
 
 		recv := n.AllToAllv(send)
@@ -230,7 +230,7 @@ func exchange[T any](c elem.Codec[T], n *cluster.Node, cfg *Config, d derived, m
 				w.addSlice(decScratch)
 				off += int64(cnt)
 			}
-			n.Clock.AddCPU(cfg.Model.ScanCPU(wHi - wLo))
+			n.AddCPU(cfg.Model.ScanCPU(wHi - wLo))
 		}
 		cluster.RecycleRecv(recv)
 		// Sub-operation boundary: flush all partial receive blocks.

@@ -25,7 +25,7 @@ import (
 // the "only 2 I/Os per block" behaviour the paper notes for N < M
 // (the MinuteSort regime).
 func mergeLocal[T any](c elem.Codec[T], n *cluster.Node, cfg *Config, d derived, files []File) (File, error) {
-	n.Clock.SetPhase(PhaseMerge)
+	n.SetPhase(PhaseMerge)
 	if len(files) == 1 {
 		n.Barrier()
 		return files[0], nil
@@ -69,7 +69,7 @@ func mergeLocal[T any](c elem.Codec[T], n *cluster.Node, cfg *Config, d derived,
 			return
 		}
 		w.addSlice(out)
-		n.Clock.AddCPU(cfg.Model.MergeCPU(int64(len(out)), r) + cfg.Model.ScanCPU(int64(len(out))))
+		n.AddCPU(cfg.Model.MergeCPU(int64(len(out)), r) + cfg.Model.ScanCPU(int64(len(out))))
 		out = out[:0]
 	}
 	for !lt.Empty() {

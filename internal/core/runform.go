@@ -32,7 +32,7 @@ type localRun[T any] struct {
 // blocks are already being fetched and run i−1's output is still
 // draining (§IV-E "Overlapping").
 func runFormation[T any](c elem.Codec[T], n *cluster.Node, cfg *Config, d derived, input File) ([]localRun[T], error) {
-	n.Clock.SetPhase(PhaseRunForm)
+	n.SetPhase(PhaseRunForm)
 
 	// Work on whole blocks: the input file is block-aligned by
 	// construction (LoadInput).
@@ -99,12 +99,12 @@ func runFormation[T any](c elem.Codec[T], n *cluster.Node, cfg *Config, d derive
 				blk := elem.DecodeSlice(c, p.raw, p.ext.Len)
 				bufpool.Put(p.raw)
 				psort.Sort(c, blk, cfg.RealWorkers)
-				n.Clock.AddCPU(cfg.Model.SortCPU(int64(len(blk))) + cfg.Model.ScanCPU(int64(len(blk))))
+				n.AddCPU(cfg.Model.SortCPU(int64(len(blk))) + cfg.Model.ScanCPU(int64(len(blk))))
 				blocks = append(blocks, blk)
 				n.Vol.Free(p.ext.ID)
 			}
 			chunk = xmerge.AppendMerge(c, chunk, blocks)
-			n.Clock.AddCPU(cfg.Model.MergeCPU(int64(len(chunk)), len(blocks)))
+			n.AddCPU(cfg.Model.MergeCPU(int64(len(chunk)), len(blocks)))
 		} else {
 			for _, p := range cur {
 				n.Vol.Wait(p.handle)
@@ -112,9 +112,9 @@ func runFormation[T any](c elem.Codec[T], n *cluster.Node, cfg *Config, d derive
 				bufpool.Put(p.raw)
 				n.Vol.Free(p.ext.ID)
 			}
-			n.Clock.AddCPU(cfg.Model.ScanCPU(int64(len(chunk))))
+			n.AddCPU(cfg.Model.ScanCPU(int64(len(chunk))))
 			psort.Sort(c, chunk, cfg.RealWorkers)
-			n.Clock.AddCPU(cfg.Model.SortCPU(int64(len(chunk))))
+			n.AddCPU(cfg.Model.SortCPU(int64(len(chunk))))
 		}
 		cur = next
 
@@ -131,7 +131,7 @@ func runFormation[T any](c elem.Codec[T], n *cluster.Node, cfg *Config, d derive
 			send[q] = sb
 		}
 		n.Mem.MustAcquire(int64(chunkLen)) // encoded send copies
-		n.Clock.AddCPU(cfg.Model.ScanCPU(int64(len(chunk))))
+		n.AddCPU(cfg.Model.ScanCPU(int64(len(chunk))))
 		chunk = nil
 		n.Mem.Release(int64(chunkLen)) // decoded chunk dropped
 
@@ -153,7 +153,7 @@ func runFormation[T any](c elem.Codec[T], n *cluster.Node, cfg *Config, d derive
 			return nil, fmt.Errorf("core: run %d: PE %d received %d elements, expected segment of %d", r, n.Rank, got, segLen)
 		}
 		merged := xmerge.Merge(c, pieces)
-		n.Clock.AddCPU(cfg.Model.MergeCPU(segLen, n.P) + cfg.Model.ScanCPU(segLen))
+		n.AddCPU(cfg.Model.MergeCPU(segLen, n.P) + cfg.Model.ScanCPU(segLen))
 
 		// Sample every K-th global run position (§IV-A) and persist
 		// the segment to local disk.

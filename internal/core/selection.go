@@ -213,7 +213,7 @@ func (a *probeAccessor[T]) cachePut(key fetchKey, vals []T) {
 // others. The returned matrix (identical on every PE) has P+1 rows:
 // splitters[i][r] is the first run-r position belonging to PE i.
 func multiwaySelection[T any](c elem.Codec[T], n *cluster.Node, cfg *Config, d derived, meta *runsMeta[T], locals []localRun[T]) ([][]int64, error) {
-	n.Clock.SetPhase(PhaseSelection)
+	n.SetPhase(PhaseSelection)
 	r := len(meta.runLens)
 	bounds := rankBounds(meta.totalN, n.P)
 

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"demsort/internal/cluster"
+	"demsort/internal/cluster/sim"
 	"demsort/internal/elem"
 	"demsort/internal/vtime"
 )
@@ -153,17 +154,23 @@ func Sort[T any](c elem.Codec[T], cfg Config, input [][]T) (*Result[T], error) {
 		return nil, err
 	}
 
-	m, err := cluster.New(cluster.Config{
-		P:          cfg.P,
-		BlockBytes: cfg.BlockBytes,
-		MemElems:   cfg.MemElems,
-		Model:      cfg.Model,
-		NewStore:   cfg.NewStore,
-	})
-	if err != nil {
-		return nil, err
+	m := cfg.Machine
+	if m == nil {
+		sm, err := sim.New(sim.Config{
+			P:          cfg.P,
+			BlockBytes: cfg.BlockBytes,
+			MemElems:   cfg.MemElems,
+			Model:      cfg.Model,
+			NewStore:   cfg.NewStore,
+		})
+		if err != nil {
+			return nil, err
+		}
+		defer sm.Close()
+		m = sm
+	} else if m.P() != cfg.P {
+		return nil, fmt.Errorf("core: machine has %d PEs, config says %d", m.P(), cfg.P)
 	}
-	defer m.Close()
 
 	res := &Result[T]{
 		P:          cfg.P,
@@ -181,11 +188,12 @@ func Sort[T any](c elem.Codec[T], cfg Config, input [][]T) (*Result[T], error) {
 	res.EndMemElems = make([]int64, cfg.P)
 	runsSeen := make([]int, cfg.P)
 	subOps := make([]int, cfg.P)
+	totalN := make([]int64, cfg.P)
 
 	err = m.Run(func(n *cluster.Node) error {
 		// Load the input onto the local disks (outside the measured
 		// sort: the paper's inputs pre-exist on disk).
-		n.Clock.SetPhase(PhaseLoad)
+		n.SetPhase(PhaseLoad)
 		lw := newWriter(c, n.Vol)
 		lw.addSlice(input[n.Rank])
 		in := lw.finish()
@@ -218,7 +226,8 @@ func Sort[T any](c elem.Codec[T], cfg Config, input [][]T) (*Result[T], error) {
 		}
 
 		// Post-sort bookkeeping, outside the measured phases.
-		n.Clock.SetPhase("collect")
+		n.SetPhase("collect")
+		totalN[n.Rank] = n.AllReduceInt64(out.N, "sum")
 		res.OutputLens[n.Rank] = out.N
 		if cfg.KeepOutput {
 			res.Output[n.Rank] = readAll(c, n.Vol, out)
@@ -232,12 +241,13 @@ func Sort[T any](c elem.Codec[T], cfg Config, input [][]T) (*Result[T], error) {
 		return nil, err
 	}
 
-	for rank, node := range m.Nodes() {
-		_, stats := node.Clock.Stats()
-		res.PerPE[rank] = stats
-		res.N += res.OutputLens[rank]
+	for _, node := range m.Nodes() {
+		_, stats := node.PhaseStats()
+		res.PerPE[node.Rank] = stats
 	}
-	res.Runs = runsSeen[0]
-	res.SubOps = subOps[0]
+	local0 := m.Nodes()[0].Rank
+	res.N = totalN[local0]
+	res.Runs = runsSeen[local0]
+	res.SubOps = subOps[local0]
 	return res, nil
 }

@@ -6,6 +6,7 @@ import (
 	"testing"
 
 	"demsort/internal/cluster"
+	"demsort/internal/cluster/sim"
 	"demsort/internal/elem"
 	"demsort/internal/mselect"
 	"demsort/internal/vtime"
@@ -14,11 +15,11 @@ import (
 
 var kvc = elem.KV16Codec{}
 
-func machine(t *testing.T, p int) *cluster.Machine {
+func machine(t *testing.T, p int) *sim.Machine {
 	t.Helper()
 	model := vtime.Default()
 	model.DiskJitter = 0
-	m, err := cluster.New(cluster.Config{P: p, BlockBytes: 4096, Model: model})
+	m, err := sim.New(sim.Config{P: p, BlockBytes: 4096, Model: model})
 	if err != nil {
 		t.Fatal(err)
 	}

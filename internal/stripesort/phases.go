@@ -18,9 +18,10 @@ import (
 // runPE executes the whole striped sort on one PE.
 func runPE[T any](c elem.Codec[T], n *cluster.Node, cfg *Config, bElem, bpr int, myInput []T) (*peState[T], error) {
 	sz := c.Size()
+	key, exact := elem.KeyFn(c)
 
 	// ----- Load input onto local disks (unmeasured) -----
-	n.Clock.SetPhase("load")
+	n.SetPhase("load")
 	type inBlock struct {
 		id  blockio.BlockID
 		len int
@@ -43,7 +44,7 @@ func runPE[T any](c elem.Codec[T], n *cluster.Node, cfg *Config, bElem, bpr int,
 	n.Barrier()
 
 	// ----- Phase 1: run formation with global striping -----
-	n.Clock.SetPhase(PhaseRunForm)
+	n.SetPhase(PhaseRunForm)
 	if cfg.Randomize {
 		rng := rand.New(rand.NewPCG(cfg.Seed, uint64(n.Rank)+0x57121))
 		rng.Shuffle(len(inBlocks), func(i, j int) { inBlocks[i], inBlocks[j] = inBlocks[j], inBlocks[i] })
@@ -81,7 +82,7 @@ func runPE[T any](c elem.Codec[T], n *cluster.Node, cfg *Config, bElem, bpr int,
 		}
 		n.Mem.MustAcquire(int64(len(chunk)))
 		psort.Sort(c, chunk, cfg.RealWorkers)
-		n.Clock.AddCPU(cfg.Model.SortCPU(int64(len(chunk))) + cfg.Model.ScanCPU(int64(len(chunk))))
+		n.AddCPU(cfg.Model.SortCPU(int64(len(chunk))) + cfg.Model.ScanCPU(int64(len(chunk))))
 
 		runLen := n.AllReduceInt64(int64(len(chunk)), "sum")
 		runLens[r] = runLen
@@ -104,7 +105,7 @@ func runPE[T any](c elem.Codec[T], n *cluster.Node, cfg *Config, bElem, bpr int,
 			elem.EncodeInto(c, sb, chunk[qlo:qhi])
 			send[q] = sb
 		}
-		n.Clock.AddCPU(cfg.Model.ScanCPU(int64(len(chunk))))
+		n.AddCPU(cfg.Model.ScanCPU(int64(len(chunk))))
 		chunkLen := int64(len(chunk))
 		chunk = nil
 		n.Mem.Release(chunkLen) // decoded chunk dropped (send buffers encoded)
@@ -118,7 +119,7 @@ func runPE[T any](c elem.Codec[T], n *cluster.Node, cfg *Config, bElem, bpr int,
 		}
 		cluster.RecycleRecv(recv)
 		merged := xmerge.Merge(c, pieces)
-		n.Clock.AddCPU(cfg.Model.MergeCPU(segLen, n.P) + cfg.Model.ScanCPU(segLen))
+		n.AddCPU(cfg.Model.MergeCPU(segLen, n.P) + cfg.Model.ScanCPU(segLen))
 		if int64(len(merged)) != segLen {
 			return nil, fmt.Errorf("stripesort: run %d: segment %d != %d", r, len(merged), segLen)
 		}
@@ -144,7 +145,7 @@ func runPE[T any](c elem.Codec[T], n *cluster.Node, cfg *Config, bElem, bpr int,
 			stripeSend[home] = elem.AppendEncode(c, stripeSend[home], merged[pos:pos+take])
 			pos += take
 		}
-		n.Clock.AddCPU(cfg.Model.ScanCPU(segLen))
+		n.AddCPU(cfg.Model.ScanCPU(segLen))
 		stripeRecv := n.AllToAllv(stripeSend)
 
 		// Assemble and write the striped blocks this PE homes.
@@ -193,7 +194,7 @@ func runPE[T any](c elem.Codec[T], n *cluster.Node, cfg *Config, bElem, bpr int,
 			n.Vol.WriteAsync(id, eb)
 			stored[r] = append(stored[r], runBlock{blk: g, id: id, len: a.total, first: a.data[0]})
 		}
-		n.Clock.AddCPU(cfg.Model.ScanCPU(segLen))
+		n.AddCPU(cfg.Model.ScanCPU(segLen))
 		n.Mem.Release(3 * segLen)
 		if !cfg.Overlap {
 			n.Vol.Drain()
@@ -223,16 +224,21 @@ func runPE[T any](c elem.Codec[T], n *cluster.Node, cfg *Config, bElem, bpr int,
 			blk := int64(binary.LittleEndian.Uint64(pb[4:12]))
 			v := c.Decode(pb[12 : 12+sz])
 			pb = pb[12+sz:]
-			pred = append(pred, predEntry[T]{first: v, run: r, blk: blk})
+			pred = append(pred, predEntry[T]{first: v, firstKey: key(v), run: r, blk: blk})
 		}
 	}
 	sort.Slice(pred, func(i, j int) bool {
 		a, b := pred[i], pred[j]
-		if c.Less(a.first, b.first) {
-			return true
+		if a.firstKey != b.firstKey {
+			return a.firstKey < b.firstKey
 		}
-		if c.Less(b.first, a.first) {
-			return false
+		if !exact {
+			if c.Less(a.first, b.first) {
+				return true
+			}
+			if c.Less(b.first, a.first) {
+				return false
+			}
 		}
 		if a.run != b.run {
 			return a.run < b.run
@@ -243,7 +249,7 @@ func runPE[T any](c elem.Codec[T], n *cluster.Node, cfg *Config, bElem, bpr int,
 	n.Barrier()
 
 	// ----- Phase 2: prediction-driven batch merging -----
-	n.Clock.SetPhase(PhaseMerge)
+	n.SetPhase(PhaseMerge)
 	st := &peState[T]{runs: runs}
 	// Index of my stored blocks for O(1) lookup.
 	myIdx := map[[2]int64]runBlock{}
@@ -271,13 +277,21 @@ func runPE[T any](c elem.Codec[T], n *cluster.Node, cfg *Config, bElem, bpr int,
 			quota = 1
 		}
 	}
-	// lessTot orders (element, run, pos) totally — the barrier rule.
-	lessTot := func(a T, ar int, ap int64, b T, br int, bp int64) bool {
-		if c.Less(a, b) {
-			return true
+	// lessTot orders (element, run, pos) totally — the barrier rule —
+	// probing normalized uint64 keys first; the comparator runs only
+	// on equal inexact keys (never for U64/KV16, and only on shared
+	// 8-byte prefixes for Rec100).
+	lessTot := func(ak uint64, a T, ar int, ap int64, bk uint64, b T, br int, bp int64) bool {
+		if ak != bk {
+			return ak < bk
 		}
-		if c.Less(b, a) {
-			return false
+		if !exact {
+			if c.Less(a, b) {
+				return true
+			}
+			if c.Less(b, a) {
+				return false
+			}
 		}
 		if ar != br {
 			return ar < br
@@ -337,15 +351,18 @@ func runPE[T any](c elem.Codec[T], n *cluster.Node, cfg *Config, bElem, bpr int,
 			pending[f.e.run] = append(pending[f.e.run], piece{pos: f.e.blk * int64(bElem), elems: vals})
 			n.Vol.Free(f.rb.id)
 		}
-		n.Clock.AddCPU(cfg.Model.ScanCPU(int64(len(fs) * bElem)))
+		n.AddCPU(cfg.Model.ScanCPU(int64(len(fs) * bElem)))
 
-		// Barrier: the smallest unfetched element.
+		// Barrier: the smallest unfetched element (value and cached
+		// normalized key, from the prediction sequence).
 		haveBarrier := end < len(pred)
 		var bVal T
+		var bKey uint64
 		var bRun int
 		var bPos int64
 		if haveBarrier {
-			bVal, bRun, bPos = pred[end].first, pred[end].run, pred[end].blk*int64(bElem)
+			bVal, bKey = pred[end].first, pred[end].firstKey
+			bRun, bPos = pred[end].run, pred[end].blk*int64(bElem)
 		}
 
 		// Extract everything strictly before the barrier: per run the
@@ -360,7 +377,7 @@ func runPE[T any](c elem.Codec[T], n *cluster.Node, cfg *Config, bElem, bpr int,
 				cnt := len(pc.elems)
 				if haveBarrier {
 					cnt = sort.Search(len(pc.elems), func(j int) bool {
-						return !lessTot(pc.elems[j], r, pc.pos+int64(j), bVal, bRun, bPos)
+						return !lessTot(key(pc.elems[j]), pc.elems[j], r, pc.pos+int64(j), bKey, bVal, bRun, bPos)
 					})
 				}
 				seq = append(seq, pc.elems[:cnt]...)
@@ -375,7 +392,7 @@ func runPE[T any](c elem.Codec[T], n *cluster.Node, cfg *Config, bElem, bpr int,
 			}
 		}
 		chunk := xmerge.Merge(c, emitSeqs)
-		n.Clock.AddCPU(cfg.Model.MergeCPU(emitMine, len(emitSeqs)+1))
+		n.AddCPU(cfg.Model.MergeCPU(emitMine, len(emitSeqs)+1))
 		n.Mem.MustAcquire(2 * emitMine) // emit copies + merged chunk; released below
 
 		emitTotal := n.AllReduceInt64(emitMine, "sum")
@@ -414,7 +431,7 @@ func runPE[T any](c elem.Codec[T], n *cluster.Node, cfg *Config, bElem, bpr int,
 			}
 			cluster.RecycleRecv(recv)
 			merged := xmerge.Merge(c, ps)
-			n.Clock.AddCPU(cfg.Model.MergeCPU(pieceLen, n.P) + 2*cfg.Model.ScanCPU(pieceLen))
+			n.AddCPU(cfg.Model.MergeCPU(pieceLen, n.P) + 2*cfg.Model.ScanCPU(pieceLen))
 
 			// The batch's output positions follow from the actual piece
 			// sizes (approximate splits make them uneven).
@@ -477,7 +494,7 @@ func runPE[T any](c elem.Codec[T], n *cluster.Node, cfg *Config, bElem, bpr int,
 	n.Mem.Release(int64(len(pred))) // prediction table dead after the merge
 	n.Vol.Drain()
 	n.Barrier()
-	n.Clock.SetPhase("collect")
+	n.SetPhase("collect")
 	return st, nil
 }
 

@@ -21,6 +21,7 @@ import (
 
 	"demsort/internal/blockio"
 	"demsort/internal/cluster"
+	"demsort/internal/cluster/sim"
 	"demsort/internal/elem"
 	"demsort/internal/psort"
 	"demsort/internal/vtime"
@@ -58,6 +59,10 @@ type Config struct {
 	Model vtime.CostModel
 	// NewStore optionally overrides the block store factory.
 	NewStore func(rank int) (blockio.Store, error)
+	// Machine optionally supplies a pre-built transport backend; nil
+	// builds a cluster/sim machine from the fields above (see
+	// core.Config.Machine for the contract).
+	Machine cluster.Machine
 }
 
 // DefaultConfig mirrors core.DefaultConfig for the striped algorithm.
@@ -145,10 +150,14 @@ type stripedBlock struct {
 
 // predEntry is one prediction-sequence entry: block blk of run run
 // starts with key first (its globally smallest unread element).
+// firstKey caches first's normalized uint64 key (elem.KeyFn) so the
+// prediction sort and the batch-boundary probes run on integers, with
+// the comparator only breaking equal inexact keys.
 type predEntry[T any] struct {
-	first T
-	run   int
-	blk   int64
+	first    T
+	firstKey uint64
+	run      int
+	blk      int64
 }
 
 // Sort runs the globally striped mergesort. input[i] starts on PE i's
@@ -206,17 +215,30 @@ func Sort[T any](c elem.Codec[T], cfg Config, input [][]T) (*Result[T], error) {
 		}
 	}
 
-	m, err := cluster.New(cluster.Config{
-		P:          cfg.P,
-		BlockBytes: cfg.BlockBytes,
-		MemElems:   cfg.MemElems,
-		Model:      cfg.Model,
-		NewStore:   cfg.NewStore,
-	})
-	if err != nil {
-		return nil, err
+	m := cfg.Machine
+	if m == nil {
+		sm, err := sim.New(sim.Config{
+			P:          cfg.P,
+			BlockBytes: cfg.BlockBytes,
+			MemElems:   cfg.MemElems,
+			Model:      cfg.Model,
+			NewStore:   cfg.NewStore,
+		})
+		if err != nil {
+			return nil, err
+		}
+		defer sm.Close()
+		m = sm
+	} else if m.P() != cfg.P {
+		return nil, fmt.Errorf("stripesort: machine has %d PEs, config says %d", m.P(), cfg.P)
 	}
-	defer m.Close()
+	if len(m.Nodes()) != cfg.P {
+		// Striped output collection (KeepOutput reassembly, per-rank
+		// stats, batch counts) is in-process; a partially hosted
+		// machine would silently return an incomplete Output. See the
+		// ROADMAP item "Striped sort on tcp".
+		return nil, fmt.Errorf("stripesort: machine hosts %d of %d PEs; the striped sort requires all PEs in-process (use the sim backend)", len(m.Nodes()), cfg.P)
+	}
 
 	res := &Result[T]{
 		P:             cfg.P,
@@ -231,7 +253,7 @@ func Sort[T any](c elem.Codec[T], cfg Config, input [][]T) (*Result[T], error) {
 	batches := make([]int, cfg.P)
 	runsSeen := make([]int, cfg.P)
 
-	err = m.Run(func(n *cluster.Node) error {
+	err := m.Run(func(n *cluster.Node) error {
 		st, err := runPE(c, n, &cfg, bElem, bpr, input[n.Rank])
 		if err != nil {
 			return err
@@ -249,12 +271,13 @@ func Sort[T any](c elem.Codec[T], cfg Config, input [][]T) (*Result[T], error) {
 		return nil, err
 	}
 
-	for rank, node := range m.Nodes() {
-		_, stats := node.Clock.Stats()
-		res.PerPE[rank] = stats
+	for _, node := range m.Nodes() {
+		_, stats := node.PhaseStats()
+		res.PerPE[node.Rank] = stats
 	}
-	res.Runs = runsSeen[0]
-	res.Batches = batches[0]
+	local0 := m.Nodes()[0].Rank
+	res.Runs = runsSeen[local0]
+	res.Batches = batches[local0]
 	if cfg.KeepOutput {
 		// Reassemble the striped output in global block order.
 		var all []outBlock[T]

@@ -1,10 +1,12 @@
 package stripesort
 
 import (
+	"bytes"
 	"slices"
 	"testing"
 
 	"demsort/internal/elem"
+	"demsort/internal/sortbench"
 	"demsort/internal/vtime"
 	"demsort/internal/workload"
 )
@@ -197,5 +199,43 @@ func TestStripedRejectsTooManyRuns(t *testing.T) {
 	input := workload.Generate(workload.Uniform, 1, 5000, 1)
 	if _, err := Sort[elem.KV16](kvc, cfg, input); err == nil {
 		t.Fatal("expected capacity rejection")
+	}
+}
+
+// TestStripedRec100SharedPrefixes drives the key-cached barrier probes
+// through the inexact-key path: Rec100's normalized key covers only 8
+// of the 10 key bytes, and skewed records share a 9-byte hot prefix,
+// so the prediction sort and the batch-boundary sort.Search must fall
+// back to the comparator on equal uint64 keys to stay correct.
+func TestStripedRec100SharedPrefixes(t *testing.T) {
+	rc := elem.Rec100Codec{}
+	const p, nPer = 4, 4000
+	cfg := DefaultConfig(p, 1<<13, 10*100)
+	cfg.Model = vtime.Default()
+	cfg.KeepOutput = true
+	input := make([][]elem.Rec100, p)
+	var all []elem.Rec100
+	for rank := 0; rank < p; rank++ {
+		input[rank] = sortbench.Skewed(3, int64(rank)*nPer, nPer, 7)
+		all = append(all, input[rank]...)
+	}
+	res, err := Sort[elem.Rec100](rc, cfg, input)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !elem.IsSorted[elem.Rec100](rc, res.Output) {
+		t.Fatal("striped Rec100 output not globally sorted")
+	}
+	want := sortbench.Validate(func() []elem.Rec100 {
+		s := slices.Clone(all)
+		slices.SortFunc(s, func(a, b elem.Rec100) int { return bytes.Compare(a[:10], b[:10]) })
+		return s
+	}())
+	got := sortbench.Validate(res.Output)
+	if got.Records != want.Records || got.Checksum != want.Checksum || got.Unsorted != 0 {
+		t.Fatalf("valsort mismatch: got %+v want %+v", got, want)
+	}
+	if res.Runs < 2 || res.Batches < 2 {
+		t.Fatalf("expected external regime with several batches, got R=%d batches=%d", res.Runs, res.Batches)
 	}
 }
