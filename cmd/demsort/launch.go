@@ -1,0 +1,320 @@
+package main
+
+// The tcp fleet launcher: spawns one worker process per rank — forked
+// locally for loopback placements, over ssh for remote hostfile hosts
+// — streams their logs with a per-rank prefix, and supervises the
+// fleet. Failure handling is what makes it cluster-grade:
+//
+//   - first non-zero exit: the survivors get a short grace period to
+//     abort on their own (a lost peer unwinds them with "lost rank"),
+//     then are killed, and the launcher exits 1 promptly instead of
+//     waiting for every rank to unwind;
+//   - the ReservePorts close-then-rebind race: a worker that cannot
+//     bind its reserved port exits with exitListenRace (tcp.ErrBind),
+//     and the launcher reaps the fleet and retries on fresh ports.
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"sync"
+	"time"
+
+	"demsort/internal/cluster/tcp"
+	"demsort/internal/elem"
+	"demsort/internal/sortbench"
+)
+
+// exitListenRace is the exit code a worker uses when its reserved
+// listen address was grabbed by another process (tcp.ErrBind): the
+// launcher's signal to retry the fleet on freshly reserved ports.
+const exitListenRace = 3
+
+// graceAfterFailure is how long survivors get to unwind on their own
+// ("lost rank" aborts) after the first worker failure before the
+// launcher kills them.
+const graceAfterFailure = 2 * time.Second
+
+// launchParams bundles the sort flags every worker receives.
+type launchParams struct {
+	nPer      int64
+	mem       int64
+	block     int
+	seed      uint64
+	randomize bool
+	infile    string
+	outdir    string
+	store     string
+	workdir   string
+}
+
+// workerArgs renders the demsort worker command line for one rank.
+func (lp launchParams) workerArgs(rank int, peers []string) []string {
+	args := []string{
+		"-transport=tcp",
+		"-rank", fmt.Sprint(rank),
+		"-peers", strings.Join(peers, ","),
+		"-n", fmt.Sprint(lp.nPer),
+		"-mem", fmt.Sprint(lp.mem),
+		"-block", fmt.Sprint(lp.block),
+		"-seed", fmt.Sprint(lp.seed),
+		fmt.Sprintf("-randomize=%v", lp.randomize),
+		"-store", lp.store,
+	}
+	if lp.workdir != "" {
+		args = append(args, "-workdir", lp.workdir)
+	}
+	if lp.outdir != "" {
+		args = append(args, "-outdir", lp.outdir)
+	}
+	if lp.infile != "" {
+		args = append(args, "-infile", lp.infile)
+	}
+	return args
+}
+
+// prefixWriter tags each line one worker writes with its rank, so the
+// interleaved logs of a fleet stay attributable. Each worker has its
+// own instance; lines are written to the underlying writer whole.
+type prefixWriter struct {
+	mu     sync.Mutex
+	w      io.Writer
+	prefix string
+	tail   []byte // unterminated partial line
+}
+
+func (pw *prefixWriter) Write(p []byte) (int, error) {
+	pw.mu.Lock()
+	defer pw.mu.Unlock()
+	n := len(p)
+	pw.tail = append(pw.tail, p...)
+	for {
+		i := bytes.IndexByte(pw.tail, '\n')
+		if i < 0 {
+			return n, nil
+		}
+		line := pw.tail[:i+1]
+		if _, err := fmt.Fprintf(pw.w, "%s%s", pw.prefix, line); err != nil {
+			return n, err
+		}
+		pw.tail = pw.tail[i+1:]
+	}
+}
+
+// flush emits any unterminated final line.
+func (pw *prefixWriter) flush() {
+	pw.mu.Lock()
+	defer pw.mu.Unlock()
+	if len(pw.tail) > 0 {
+		fmt.Fprintf(pw.w, "%s%s\n", pw.prefix, pw.tail)
+		pw.tail = nil
+	}
+}
+
+// worker is one spawned rank process.
+type worker struct {
+	rank int
+	cmd  *exec.Cmd
+	out  *prefixWriter
+	errW *prefixWriter
+}
+
+// spawnFleet starts one worker per placement. Loopback placements
+// fork this binary (DEMSORT_ARGS keeps the test binary re-entrant,
+// exactly like the single-host launcher always has); remote ones run
+// remoteExe on the placement's host via sshCmd.
+func spawnFleet(placements []tcp.Placement, peers []string, lp launchParams, sshCmd, remoteExe string) ([]*worker, error) {
+	exe, err := os.Executable()
+	if err != nil {
+		return nil, err
+	}
+	if remoteExe == "" {
+		remoteExe = exe
+	}
+	workers := make([]*worker, 0, len(placements))
+	for _, pl := range placements {
+		args := lp.workerArgs(pl.Rank, peers)
+		var cmd *exec.Cmd
+		if pl.Local {
+			cmd = exec.Command(exe, args...)
+			// DEMSORT_ARGS lets the demsort test binary re-enter main()
+			// with these flags; the release binary ignores it.
+			cmd.Env = append(os.Environ(), "DEMSORT_ARGS="+strings.Join(args, " "))
+		} else {
+			// -tt forces a remote tty so killing the ssh client (fleet
+			// reaping) HUPs the remote worker instead of orphaning it
+			// on its listen port.
+			cmd = exec.Command(sshCmd, append([]string{"-o", "BatchMode=yes", "-tt", pl.Host, remoteExe}, args...)...)
+		}
+		w := &worker{
+			rank: pl.Rank,
+			cmd:  cmd,
+			out:  &prefixWriter{w: os.Stdout, prefix: fmt.Sprintf("[w%d] ", pl.Rank)},
+			errW: &prefixWriter{w: os.Stderr, prefix: fmt.Sprintf("[w%d] ", pl.Rank)},
+		}
+		cmd.Stdout, cmd.Stderr = w.out, w.errW
+		if err := cmd.Start(); err != nil {
+			killFleet(workers)
+			return nil, fmt.Errorf("spawning worker %d on %s: %w", pl.Rank, pl.Host, err)
+		}
+		workers = append(workers, w)
+	}
+	return workers, nil
+}
+
+func killFleet(workers []*worker) {
+	for _, w := range workers {
+		w.cmd.Process.Kill() // no-op error if already gone
+	}
+}
+
+// waitFleet supervises the running fleet. Every worker failure is
+// reported as it lands; after the first one, survivors get
+// graceAfterFailure to abort on their own (losing a peer unwinds them
+// with "lost rank"), then whatever still runs is killed. Returns the
+// first failure and whether any worker hit the listen-race exit code.
+func waitFleet(workers []*worker) (firstErr error, listenRace bool) {
+	type exit struct {
+		rank int
+		err  error
+	}
+	ch := make(chan exit, len(workers))
+	for _, w := range workers {
+		go func(w *worker) { ch <- exit{w.rank, w.cmd.Wait()} }(w)
+	}
+	var grace <-chan time.Time
+	reaped := false
+	for done := 0; done < len(workers); {
+		select {
+		case e := <-ch:
+			done++
+			if e.err == nil {
+				continue
+			}
+			if exitCode(e.err) == exitListenRace {
+				listenRace = true
+			}
+			if reaped && exitCode(e.err) == -1 {
+				continue // our own kill, not a worker failure
+			}
+			fmt.Fprintf(os.Stderr, "worker %d: %v\n", e.rank, e.err)
+			if firstErr == nil {
+				firstErr = fmt.Errorf("worker %d: %w", e.rank, e.err)
+				grace = time.After(graceAfterFailure)
+			}
+		case <-grace:
+			fmt.Fprintf(os.Stderr, "reaping the remaining workers\n")
+			killFleet(workers)
+			reaped = true
+			grace = nil
+		}
+	}
+	for _, w := range workers {
+		w.out.flush()
+		w.errW.flush()
+	}
+	return firstErr, listenRace
+}
+
+func exitCode(err error) int {
+	var ee *exec.ExitError
+	if errors.As(err, &ee) {
+		return ee.ExitCode()
+	}
+	return -1
+}
+
+// runLauncher drives a tcp fleet end to end: placement (hostfile or p
+// loopback ranks), port assignment, spawn, supervision with
+// listen-race retry, and — when every rank is local — valsort over
+// the combined partitions.
+func runLauncher(p int, lp launchParams, hostfilePath string, basePort int, sshCmd, remoteExe string) {
+	if lp.outdir == "" {
+		lp.outdir = "demsort-out"
+	}
+	fail(os.MkdirAll(lp.outdir, 0o755))
+	if lp.store == "file" && lp.workdir == "" {
+		lp.workdir = filepath.Join(lp.outdir, "work")
+	}
+
+	var placements []tcp.Placement
+	if hostfilePath != "" {
+		hosts, err := tcp.LoadHostfile(hostfilePath)
+		fail(err)
+		placements, err = tcp.PlaceRanks(hosts, basePort)
+		fail(err)
+	} else {
+		for rank := 0; rank < p; rank++ {
+			placements = append(placements, tcp.Placement{Rank: rank, Host: "127.0.0.1", Local: true})
+		}
+	}
+	p = len(placements)
+	allLocal := true
+	for _, pl := range placements {
+		allLocal = allLocal && pl.Local
+	}
+
+	const maxAttempts = 3
+	start := time.Now()
+	for attempt := 1; ; attempt++ {
+		// Assign the launcher-reserved ephemeral ports (loopback
+		// placements without an explicit hostfile port).
+		peers := make([]string, p)
+		var ephemeral []int
+		for i, pl := range placements {
+			if pl.Listen == "" {
+				ephemeral = append(ephemeral, i)
+			} else {
+				peers[i] = pl.Listen
+			}
+		}
+		if len(ephemeral) > 0 {
+			addrs, err := tcp.ReservePorts(len(ephemeral))
+			fail(err)
+			for j, i := range ephemeral {
+				peers[i] = addrs[j]
+			}
+		}
+		fmt.Printf("launching %d workers on %s\n", p, strings.Join(peers, ","))
+		workers, err := spawnFleet(placements, peers, lp, sshCmd, remoteExe)
+		fail(err)
+		firstErr, listenRace := waitFleet(workers)
+		if firstErr == nil {
+			break
+		}
+		if listenRace && len(ephemeral) > 0 && attempt < maxAttempts {
+			fmt.Fprintf(os.Stderr, "a reserved port was taken before its worker bound it (attempt %d/%d); retrying with fresh ports\n",
+				attempt, maxAttempts)
+			continue
+		}
+		fmt.Fprintf(os.Stderr, "fleet failed: %v\n", firstErr)
+		os.Exit(1)
+	}
+	wall := time.Since(start).Seconds()
+
+	if !allLocal {
+		fmt.Printf("fleet done in %.3fs; partitions live in %s on each worker's host (valsort them there)\n", wall, lp.outdir)
+		return
+	}
+
+	// valsort over the partitions, in rank order.
+	var sums []sortbench.Summary
+	for rank := 0; rank < p; rank++ {
+		data, err := os.ReadFile(filepath.Join(lp.outdir, fmt.Sprintf("part-%03d", rank)))
+		fail(err)
+		recs := make([]elem.Rec100, len(data)/100)
+		for i := range recs {
+			copy(recs[i][:], data[i*100:])
+		}
+		sums = append(sums, sortbench.Validate(recs))
+	}
+	got := sortbench.Merge(sums)
+	verdictRecords(got, inputSummary(lp.infile, lp.seed, p, lp.nPer))
+	fmt.Printf("wall total: %.3fs (%.2f MB/s across %d processes)\n",
+		wall, float64(got.Records)*100/1e6/wall, p)
+}

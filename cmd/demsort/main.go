@@ -9,14 +9,20 @@
 //     virtual-time cost model (the paper's figures);
 //   - -transport=tcp: one OS process per PE over real sockets, and
 //     per-phase times are wall-clock. Without -rank, demsort acts as a
-//     launcher: it forks -p local worker processes, waits, and
-//     valsort-validates the combined output. With -rank/-peers, it is
+//     launcher: it spawns the fleet (forking -p local workers, or
+//     placing ranks across machines from a -hostfile, remote ones over
+//     ssh), supervises it — first failure reaps the fleet, a lost
+//     reserved port retries on fresh ones — and valsort-validates the
+//     combined output of an all-local run. With -rank/-peers, it is
 //     one worker of a (possibly multi-host) machine.
 //
 // The tcp transport (and sim with -records) sorts SortBenchmark-style
 // 100-byte records: generated in-process gensort-equivalently from
 // -seed, or read from a gensort file via -infile. Sorted partitions
-// are written to -outdir as raw records (valsort-compatible).
+// are written to -outdir as raw records (valsort-compatible),
+// streamed block-at-a-time from each worker's store. With -store=file
+// the blocks themselves live on disk under -workdir, so the data
+// never has to fit in RAM.
 //
 // Usage:
 //
@@ -24,6 +30,8 @@
 //	        [-workload uniform|worstcase|reversed|narrow|allequal|hotkey|sorted]
 //	        [-randomize=true] [-striped] [-seed 1]
 //	        [-transport sim|tcp] [-records] [-infile data] [-outdir out]
+//	        [-store ram|file] [-workdir dir]
+//	        [-hostfile hosts.txt] [-baseport 7070] [-ssh ssh] [-remote-exe path]
 //	        [-rank R -peers host:port,host:port,...]
 //
 // Examples:
@@ -31,19 +39,23 @@
 //	demsort                                      # simulated, KV16 figures workload
 //	demsort -records -outdir out                 # simulated, gensort records
 //	demsort -transport=tcp -p 4 -outdir out      # 4 real worker processes on localhost
+//	demsort -transport=tcp -hostfile hosts.txt -store=file -outdir out   # a real cluster
 //	demsort -transport=tcp -rank 1 -peers hostA:7001,hostB:7002  # one PE of a 2-host machine
 package main
 
 import (
+	"bufio"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
-	"os/exec"
 	"path/filepath"
+	"strconv"
 	"strings"
 	"time"
 
 	demsort "demsort"
+	"demsort/internal/blockio"
 	"demsort/internal/cluster/tcp"
 	"demsort/internal/elem"
 	"demsort/internal/sortbench"
@@ -63,6 +75,12 @@ func main() {
 	records := flag.Bool("records", false, "sort SortBenchmark 100-byte records instead of KV16")
 	infile := flag.String("infile", "", "gensort input file (implies -records; rank r takes records [r·n, (r+1)·n))")
 	outdir := flag.String("outdir", "", "write sorted partitions here as part-%03d (raw records)")
+	store := flag.String("store", "ram", "block store backing each PE: ram, or file (disk-resident blocks; data need not fit in RAM)")
+	workdir := flag.String("workdir", "", "spill directory for -store=file (default: <outdir>/work, or a temp dir in worker mode)")
+	hostfile := flag.String("hostfile", "", "launch the fleet from a hostfile ('host[:port] [slots=k]' per line; total slots override -p)")
+	baseport := flag.Int("baseport", 7070, "first listen port for hostfile hosts without an explicit port")
+	sshCmd := flag.String("ssh", "ssh", "command used to spawn workers on remote hostfile hosts")
+	remoteExe := flag.String("remote-exe", "", "demsort binary path on remote hosts (default: this binary's path)")
 	rank := flag.Int("rank", -1, "this process's PE rank (tcp worker mode; -1 = launch workers)")
 	peers := flag.String("peers", "", "comma-separated host:port listen addresses, one per rank (tcp)")
 	flag.Parse()
@@ -70,25 +88,56 @@ func main() {
 	if *striped && (*records || *infile != "" || *transport == "tcp") {
 		fail(fmt.Errorf("demsort: -striped currently supports only the simulated KV16 workload (its output collection is in-process)"))
 	}
+	if *store != "ram" && *store != "file" {
+		fail(fmt.Errorf("demsort: unknown store %q (want ram or file)", *store))
+	}
+	lp := launchParams{
+		nPer:      int64(*n),
+		mem:       *mem,
+		block:     *block,
+		seed:      *seed,
+		randomize: *randomize,
+		infile:    *infile,
+		outdir:    *outdir,
+		store:     *store,
+		workdir:   *workdir,
+	}
 	switch *transport {
 	case "sim":
 		if *records || *infile != "" {
-			runRecordsSim(*p, int64(*n), *mem, *block, *seed, *randomize, *infile, *outdir)
+			runRecordsSim(*p, lp)
 			return
 		}
 		runKV16Sim(*p, *n, *mem, *block, *kind, *randomize, *striped, *seed)
 	case "tcp":
 		if *rank < 0 {
-			runLauncher(*p, int64(*n), *mem, *block, *seed, *randomize, *infile, *outdir)
+			runLauncher(*p, lp, *hostfile, *baseport, *sshCmd, *remoteExe)
 			return
 		}
 		if *peers == "" {
 			fail(fmt.Errorf("demsort: tcp worker mode needs -peers"))
 		}
-		runTCPWorker(*rank, strings.Split(*peers, ","), int64(*n), *mem, *block, *seed, *randomize, *infile, *outdir)
+		runTCPWorker(*rank, strings.Split(*peers, ","), lp)
 	default:
 		fail(fmt.Errorf("demsort: unknown transport %q (want sim or tcp)", *transport))
 	}
+}
+
+// newStoreFactory maps the -store/-workdir flags to a per-rank block
+// store constructor (nil = the default RAM store).
+func newStoreFactory(lp launchParams) func(rank int) (blockio.Store, error) {
+	if lp.store != "file" {
+		return nil
+	}
+	dir := lp.workdir
+	if dir == "" {
+		if lp.outdir != "" {
+			dir = filepath.Join(lp.outdir, "work")
+		} else {
+			dir = filepath.Join(os.TempDir(), fmt.Sprintf("demsort-work-%d", os.Getpid()))
+		}
+	}
+	return blockio.FileStoreFactory(dir, lp.block)
 }
 
 // ---------------------------------------------------------------------
@@ -150,12 +199,15 @@ func recordOptions(p int, mem int64, block int, seed uint64, randomize bool) dem
 
 // runRecordsSim sorts gensort records on the simulated machine —
 // the reference run the tcp backend's output must match bit for bit.
-func runRecordsSim(p int, nPer, mem int64, block int, seed uint64, randomize bool, infile, outdir string) {
+func runRecordsSim(p int, lp launchParams) {
+	nPer, seed, outdir, infile := lp.nPer, lp.seed, lp.outdir, lp.infile
 	input := make([][]elem.Rec100, p)
 	for rank := 0; rank < p; rank++ {
 		input[rank] = loadRecords(infile, seed, rank, nPer)
 	}
-	res, err := demsort.Sort[elem.Rec100](demsort.Rec100Codec{}, recordOptions(p, mem, block, seed, randomize), input)
+	opts := recordOptions(p, lp.mem, lp.block, seed, lp.randomize)
+	opts.NewStore = newStoreFactory(lp)
+	res, err := demsort.Sort[elem.Rec100](demsort.Rec100Codec{}, opts, input)
 	fail(err)
 	nBytes := res.N * 100
 	fmt.Printf("CanonicalMergeSort[records]: P=%d N=%d (R=%d runs, k=%d sub-operations)\n",
@@ -181,25 +233,68 @@ func runRecordsSim(p int, nPer, mem int64, block int, seed uint64, randomize boo
 // tcp worker: one PE of a real-process machine.
 // ---------------------------------------------------------------------
 
-func runTCPWorker(rank int, peers []string, nPer, mem int64, block int, seed uint64, randomize bool, infile, outdir string) {
+func runTCPWorker(rank int, peers []string, lp launchParams) {
 	p := len(peers)
 	m, err := tcp.New(tcp.Config{
 		Rank:       rank,
 		Peers:      peers,
-		BlockBytes: block,
-		MemElems:   mem,
+		BlockBytes: lp.block,
+		MemElems:   lp.mem,
+		NewStore:   newStoreFactory(lp),
 	})
-	fail(err)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		if errors.Is(err, tcp.ErrBind) {
+			// The reserved port was grabbed before we bound it; tell
+			// the launcher so it retries the fleet on fresh ports
+			// instead of the peers dialing a dead address for 30s.
+			os.Exit(exitListenRace)
+		}
+		os.Exit(1)
+	}
 	defer m.Close()
 
-	opts := recordOptions(p, mem, block, seed, randomize)
+	// Fault injection for the crash tests: the designated rank dies
+	// abruptly once the machine is connected — no goodbye frame, no
+	// Close — exactly like a segfaulted or OOM-killed worker.
+	if os.Getenv("DEMSORT_CRASH_RANK") == strconv.Itoa(rank) {
+		ms := 100
+		if v, err := strconv.Atoi(os.Getenv("DEMSORT_CRASH_AFTER_MS")); err == nil {
+			ms = v
+		}
+		time.Sleep(time.Duration(ms) * time.Millisecond)
+		os.Exit(11)
+	}
+
+	opts := recordOptions(p, lp.mem, lp.block, lp.seed, lp.randomize)
 	opts.Machine = m
+	opts.KeepOutput = false
 	input := make([][]elem.Rec100, p)
-	input[rank] = loadRecords(infile, seed, rank, nPer)
+	input[rank] = loadRecords(lp.infile, lp.seed, rank, lp.nPer)
+
+	// Stream the sorted partition straight from the block store to the
+	// part file: the output never has to fit in this process's RAM,
+	// which is the point of -store=file.
+	var partW *bufio.Writer
+	var partF *os.File
+	if lp.outdir != "" {
+		fail(os.MkdirAll(lp.outdir, 0o755))
+		partF, err = os.Create(filepath.Join(lp.outdir, fmt.Sprintf("part-%03d", rank)))
+		fail(err)
+		partW = bufio.NewWriterSize(partF, 1<<20)
+		opts.Sink = func(_ int, b []byte) error {
+			_, err := partW.Write(b)
+			return err
+		}
+	}
 
 	start := time.Now()
 	res, err := demsort.Sort[elem.Rec100](demsort.Rec100Codec{}, opts, input)
 	fail(err)
+	if partW != nil {
+		fail(partW.Flush())
+		fail(partF.Close())
+	}
 
 	var phases []string
 	for _, ph := range res.PhaseNames {
@@ -207,80 +302,6 @@ func runTCPWorker(rank int, peers []string, nPer, mem int64, block int, seed uin
 	}
 	fmt.Printf("rank %d: %d records in %.3fs (%s)\n",
 		rank, res.OutputLens[rank], time.Since(start).Seconds(), strings.Join(phases, " | "))
-	if outdir != "" {
-		fail(os.MkdirAll(outdir, 0o755))
-		writePart(outdir, rank, res.Output[rank])
-	}
-}
-
-// ---------------------------------------------------------------------
-// tcp launcher: fork one worker process per PE on localhost.
-// ---------------------------------------------------------------------
-
-func runLauncher(p int, nPer, mem int64, block int, seed uint64, randomize bool, infile, outdir string) {
-	if outdir == "" {
-		outdir = "demsort-out"
-	}
-	fail(os.MkdirAll(outdir, 0o755))
-	peers, err := tcp.ReservePorts(p)
-	fail(err)
-	exe, err := os.Executable()
-	fail(err)
-
-	fmt.Printf("launching %d workers on %s\n", p, strings.Join(peers, ","))
-	start := time.Now()
-	cmds := make([]*exec.Cmd, p)
-	for rank := 0; rank < p; rank++ {
-		args := []string{
-			"-transport=tcp",
-			"-rank", fmt.Sprint(rank),
-			"-peers", strings.Join(peers, ","),
-			"-n", fmt.Sprint(nPer),
-			"-mem", fmt.Sprint(mem),
-			"-block", fmt.Sprint(block),
-			"-seed", fmt.Sprint(seed),
-			fmt.Sprintf("-randomize=%v", randomize),
-			"-outdir", outdir,
-		}
-		if infile != "" {
-			args = append(args, "-infile", infile)
-		}
-		cmd := exec.Command(exe, args...)
-		cmd.Stdout = os.Stdout
-		cmd.Stderr = os.Stderr
-		// DEMSORT_ARGS lets the demsort test binary re-enter main()
-		// with these flags; the release binary ignores it.
-		cmd.Env = append(os.Environ(), "DEMSORT_ARGS="+strings.Join(args, " "))
-		fail(cmd.Start())
-		cmds[rank] = cmd
-	}
-	failed := false
-	for rank, cmd := range cmds {
-		if err := cmd.Wait(); err != nil {
-			fmt.Fprintf(os.Stderr, "worker %d: %v\n", rank, err)
-			failed = true
-		}
-	}
-	if failed {
-		os.Exit(1)
-	}
-	wall := time.Since(start).Seconds()
-
-	// valsort over the partitions, in rank order.
-	var sums []sortbench.Summary
-	for rank := 0; rank < p; rank++ {
-		data, err := os.ReadFile(filepath.Join(outdir, fmt.Sprintf("part-%03d", rank)))
-		fail(err)
-		recs := make([]elem.Rec100, len(data)/100)
-		for i := range recs {
-			copy(recs[i][:], data[i*100:])
-		}
-		sums = append(sums, sortbench.Validate(recs))
-	}
-	got := sortbench.Merge(sums)
-	verdictRecords(got, inputSummary(infile, seed, p, nPer))
-	fmt.Printf("wall total: %.3fs (%.2f MB/s across %d processes)\n",
-		wall, float64(got.Records)*100/1e6/wall, p)
 }
 
 // ---------------------------------------------------------------------

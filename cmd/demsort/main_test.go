@@ -10,11 +10,15 @@ package main
 // so launcher, workers and the wire protocol all run for real.
 
 import (
+	"errors"
+	"fmt"
+	"net"
 	"os"
 	"os/exec"
 	"path/filepath"
 	"strings"
 	"testing"
+	"time"
 )
 
 func TestMain(m *testing.M) {
@@ -73,5 +77,144 @@ func TestTCPLauncherMatchesSim(t *testing.T) {
 		if len(simPart) != 2000*100 {
 			t.Fatalf("%s holds %d bytes, want %d", name, len(simPart), 2000*100)
 		}
+	}
+}
+
+// TestHostfileLauncherMatchesSim drives the multi-host code path on a
+// localhost hostfile with file-backed workers: parse + placement + the
+// fork spawner + -store=file + sink-streamed part files, output
+// byte-identical to the sim backend.
+func TestHostfileLauncherMatchesSim(t *testing.T) {
+	exe, err := os.Executable()
+	if err != nil {
+		t.Fatal(err)
+	}
+	tmp := t.TempDir()
+	hf := filepath.Join(tmp, "hosts")
+	// Two hostfile lines for the same machine: placement must merge
+	// them into ranks 0..3.
+	if err := os.WriteFile(hf, []byte("localhost slots=2 # first pair\n127.0.0.1 slots=2\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	simDir := filepath.Join(tmp, "sim")
+	tcpDir := filepath.Join(tmp, "tcp")
+
+	runDemsort := func(args string) string {
+		cmd := exec.Command(exe)
+		cmd.Env = append(os.Environ(), "DEMSORT_ARGS="+args)
+		out, err := cmd.CombinedOutput()
+		if err != nil {
+			t.Fatalf("demsort %s: %v\n%s", args, err, out)
+		}
+		return string(out)
+	}
+
+	simOut := runDemsort("-records -p 4 -n 1500 -seed 31 -outdir " + simDir)
+	tcpOut := runDemsort("-transport=tcp -hostfile " + hf + " -n 1500 -seed 31 -store=file -outdir " + tcpDir)
+	for _, out := range []string{simOut, tcpOut} {
+		if !strings.Contains(out, "validation: OK") {
+			t.Fatalf("run did not validate:\n%s", out)
+		}
+	}
+	if !strings.Contains(tcpOut, "launching 4 workers") {
+		t.Fatalf("hostfile slots did not set the machine size:\n%s", tcpOut)
+	}
+	for rank := 0; rank < 4; rank++ {
+		name := fmt.Sprintf("part-%03d", rank)
+		simPart, err := os.ReadFile(filepath.Join(simDir, name))
+		if err != nil {
+			t.Fatal(err)
+		}
+		tcpPart, err := os.ReadFile(filepath.Join(tcpDir, name))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if string(simPart) != string(tcpPart) {
+			t.Fatalf("%s differs between sim and hostfile-launched tcp", name)
+		}
+	}
+	// A clean run leaves no spill blocks behind (FileStore.Close
+	// removes them).
+	if files, err := os.ReadDir(filepath.Join(tcpDir, "work")); err == nil && len(files) > 0 {
+		t.Fatalf("spill dir still holds %d files after a clean run", len(files))
+	}
+}
+
+// TestWorkerCrashAbortsFleet kills one tcp worker mid-run and asserts
+// the fleet dies with it, promptly: surviving ranks abort on the lost
+// peer instead of hanging, the launcher reaps them and exits non-zero
+// well within the peers' 30s connect/abort margins.
+func TestWorkerCrashAbortsFleet(t *testing.T) {
+	exe, err := os.Executable()
+	if err != nil {
+		t.Fatal(err)
+	}
+	outdir := filepath.Join(t.TempDir(), "out")
+	cmd := exec.Command(exe)
+	cmd.Env = append(os.Environ(),
+		"DEMSORT_ARGS=-transport=tcp -p 4 -n 20000 -seed 13 -outdir "+outdir,
+		"DEMSORT_CRASH_RANK=2",
+	)
+	start := time.Now()
+	done := make(chan error, 1)
+	var out []byte
+	go func() {
+		var runErr error
+		out, runErr = cmd.CombinedOutput()
+		done <- runErr
+	}()
+	select {
+	case runErr := <-done:
+		if runErr == nil {
+			t.Fatalf("launcher exited 0 despite a crashed worker:\n%s", out)
+		}
+	case <-time.After(20 * time.Second):
+		cmd.Process.Kill()
+		t.Fatalf("launcher still running 20s after a worker crash")
+	}
+	elapsed := time.Since(start)
+	if elapsed > 15*time.Second {
+		t.Fatalf("fleet took %v to die; want prompt reaping", elapsed)
+	}
+	text := string(out)
+	if !strings.Contains(text, "worker 2") {
+		t.Fatalf("launcher did not report the crashed worker:\n%s", text)
+	}
+	if !strings.Contains(text, "lost rank 2") {
+		t.Fatalf("surviving ranks did not abort on the lost peer:\n%s", text)
+	}
+}
+
+// TestWorkerListenRaceExitsFast pins the ReservePorts TOCTOU handling:
+// a worker whose reserved port was grabbed by someone else must fail
+// immediately with the dedicated exit code (the launcher's retry
+// signal) instead of leaving the fleet dialing a dead address.
+func TestWorkerListenRaceExitsFast(t *testing.T) {
+	exe, err := os.Executable()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0") // the "other process" holding the port
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	cmd := exec.Command(exe)
+	cmd.Env = append(os.Environ(),
+		"DEMSORT_ARGS=-transport=tcp -rank 0 -peers "+ln.Addr().String()+",127.0.0.1:1 -n 100")
+	start := time.Now()
+	out, err := cmd.CombinedOutput()
+	if err == nil {
+		t.Fatalf("worker bound an occupied port?\n%s", out)
+	}
+	var ee *exec.ExitError
+	if !errors.As(err, &ee) || ee.ExitCode() != 3 {
+		t.Fatalf("want exit code 3 (listen race), got %v\n%s", err, out)
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Fatalf("listen failure took %v; must fail fast", elapsed)
+	}
+	if !strings.Contains(string(out), "listen") {
+		t.Fatalf("error not actionable:\n%s", out)
 	}
 }

@@ -10,6 +10,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"path/filepath"
 	"sync"
 
 	"demsort/internal/bufpool"
@@ -147,6 +148,22 @@ func (s *FileStore) Close() error {
 		return err
 	}
 	return os.Remove(name)
+}
+
+// FileStoreFactory returns a per-rank store constructor that backs
+// each PE's volume with a FileStore at dir/rank-%03d.blocks — the
+// spill directory of a file-backed worker. The directory is created
+// on first use; the block files are removed on Close, so a clean run
+// leaves dir empty. This is what demsort's -store=file plugs into
+// core.Config.NewStore and tcp.Config.NewStore: sorted data streams
+// through disk blocks instead of having to fit in RAM.
+func FileStoreFactory(dir string, blockBytes int) func(rank int) (Store, error) {
+	return func(rank int) (Store, error) {
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			return nil, fmt.Errorf("blockio: spill dir: %w", err)
+		}
+		return NewFileStore(filepath.Join(dir, fmt.Sprintf("rank-%03d.blocks", rank)), blockBytes)
+	}
 }
 
 // Handle is the virtual completion time of an asynchronous I/O.

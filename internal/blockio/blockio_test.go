@@ -2,6 +2,7 @@ package blockio
 
 import (
 	"bytes"
+	"os"
 	"path/filepath"
 	"testing"
 
@@ -154,5 +155,47 @@ func TestVolumeDrain(t *testing.T) {
 	v.Drain()
 	if v.Clock().Now() <= 0 {
 		t.Fatal("drain must advance to device idle time")
+	}
+}
+
+func TestFileStoreFactoryPerRankSpill(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "spill") // factory must create it
+	factory := FileStoreFactory(dir, 64)
+	stores := make([]Store, 3)
+	for rank := range stores {
+		s, err := factory(rank)
+		if err != nil {
+			t.Fatal(err)
+		}
+		stores[rank] = s
+		if err := s.WriteAt(0, []byte{byte(rank), byte(rank + 1)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	files, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(files) != 3 {
+		t.Fatalf("spill dir holds %d files, want one per rank (3)", len(files))
+	}
+	for rank, s := range stores {
+		got := make([]byte, 2)
+		if err := s.ReadAt(0, got); err != nil {
+			t.Fatal(err)
+		}
+		if got[0] != byte(rank) || got[1] != byte(rank+1) {
+			t.Fatalf("rank %d read back %v", rank, got)
+		}
+		if err := s.Close(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	files, err = os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(files) != 0 {
+		t.Fatalf("Close must remove the block files; %d left", len(files))
 	}
 }

@@ -13,7 +13,10 @@
 //     shape of the paper's figures;
 //   - cluster/tcp — one OS process per PE, length-prefixed framed
 //     messages over persistent pairwise TCP connections, collectives
-//     built from point-to-point; timings are real wall-clock.
+//     built from point-to-point over cluster-shaped schedules (a
+//     binomial tree for the rooted collectives, a 1-factorization of
+//     K_P for the personalised exchanges); timings are real
+//     wall-clock.
 //
 // Phase code (core, stripesort, baseline, dselect, mselect) sees only
 // *Node — a facade over a Transport plus the PE's local volume, memory

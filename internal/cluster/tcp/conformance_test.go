@@ -14,6 +14,7 @@ import (
 	"testing"
 	"time"
 
+	"demsort/internal/blockio"
 	"demsort/internal/cluster/tcp"
 	"demsort/internal/core"
 	"demsort/internal/elem"
@@ -63,8 +64,8 @@ func sortSim(t *testing.T, p int) [][]byte {
 
 // sortTCP runs the same workload on p tcp machines (one goroutine
 // each, real localhost sockets) and returns the encoded per-rank
-// outputs.
-func sortTCP(t *testing.T, p int) [][]byte {
+// outputs. newStore selects the per-rank block store (nil = RAM).
+func sortTCP(t *testing.T, p int, newStore func(rank int) (blockio.Store, error)) [][]byte {
 	t.Helper()
 	peers := reservePorts(t, p)
 	out := make([][]byte, p)
@@ -79,6 +80,7 @@ func sortTCP(t *testing.T, p int) [][]byte {
 				Peers:          peers,
 				BlockBytes:     confBlock,
 				MemElems:       confMem,
+				NewStore:       newStore,
 				ConnectTimeout: 20 * time.Second,
 			})
 			if err != nil {
@@ -129,47 +131,56 @@ func decodeParts(parts [][]byte) [][]elem.Rec100 {
 }
 
 func TestSimTCPConformance(t *testing.T) {
-	for _, p := range []int{2, 4} {
-		t.Run(fmt.Sprintf("P%d", p), func(t *testing.T) {
-			simOut := sortSim(t, p)
-			tcpOut := sortTCP(t, p)
-			for rank := 0; rank < p; rank++ {
-				if !bytes.Equal(simOut[rank], tcpOut[rank]) {
-					t.Fatalf("rank %d: sim and tcp outputs differ (%d vs %d bytes)",
-						rank, len(simOut[rank]), len(tcpOut[rank]))
+	// P=8 exercises a deeper binomial tree and more 1-factor rounds;
+	// the file store runs the tcp workers disk-backed, as a cluster
+	// deployment (-store=file) would.
+	for _, p := range []int{2, 4, 8} {
+		for _, store := range []string{"ram", "file"} {
+			t.Run(fmt.Sprintf("P%d_%s", p, store), func(t *testing.T) {
+				var newStore func(rank int) (blockio.Store, error)
+				if store == "file" {
+					newStore = blockio.FileStoreFactory(t.TempDir(), confBlock)
 				}
-			}
-
-			// valsort summaries: per-partition validation merged across
-			// boundaries must match between backends and against the
-			// generator's digest.
-			var simSums, tcpSums []sortbench.Summary
-			for _, part := range decodeParts(simOut) {
-				simSums = append(simSums, sortbench.Validate(part))
-			}
-			for _, part := range decodeParts(tcpOut) {
-				tcpSums = append(tcpSums, sortbench.Validate(part))
-			}
-			simAll := sortbench.Merge(simSums)
-			tcpAll := sortbench.Merge(tcpSums)
-			if simAll.Records != tcpAll.Records || simAll.Unsorted != tcpAll.Unsorted ||
-				simAll.Checksum != tcpAll.Checksum || simAll.Duplicate != tcpAll.Duplicate {
-				t.Fatalf("valsort summaries differ: sim %+v vs tcp %+v", simAll, tcpAll)
-			}
-			if tcpAll.Unsorted != 0 {
-				t.Fatalf("tcp output not sorted: %d inversions", tcpAll.Unsorted)
-			}
-			want := sortbench.Validate(func() []elem.Rec100 {
-				var all []elem.Rec100
+				simOut := sortSim(t, p)
+				tcpOut := sortTCP(t, p, newStore)
 				for rank := 0; rank < p; rank++ {
-					all = append(all, confInput(rank)...)
+					if !bytes.Equal(simOut[rank], tcpOut[rank]) {
+						t.Fatalf("rank %d: sim and tcp outputs differ (%d vs %d bytes)",
+							rank, len(simOut[rank]), len(tcpOut[rank]))
+					}
 				}
-				return all
-			}())
-			if tcpAll.Records != want.Records || tcpAll.Checksum != want.Checksum {
-				t.Fatalf("output is not a permutation of the input: got %d/%016x, want %d/%016x",
-					tcpAll.Records, tcpAll.Checksum, want.Records, want.Checksum)
-			}
-		})
+
+				// valsort summaries: per-partition validation merged across
+				// boundaries must match between backends and against the
+				// generator's digest.
+				var simSums, tcpSums []sortbench.Summary
+				for _, part := range decodeParts(simOut) {
+					simSums = append(simSums, sortbench.Validate(part))
+				}
+				for _, part := range decodeParts(tcpOut) {
+					tcpSums = append(tcpSums, sortbench.Validate(part))
+				}
+				simAll := sortbench.Merge(simSums)
+				tcpAll := sortbench.Merge(tcpSums)
+				if simAll.Records != tcpAll.Records || simAll.Unsorted != tcpAll.Unsorted ||
+					simAll.Checksum != tcpAll.Checksum || simAll.Duplicate != tcpAll.Duplicate {
+					t.Fatalf("valsort summaries differ: sim %+v vs tcp %+v", simAll, tcpAll)
+				}
+				if tcpAll.Unsorted != 0 {
+					t.Fatalf("tcp output not sorted: %d inversions", tcpAll.Unsorted)
+				}
+				want := sortbench.Validate(func() []elem.Rec100 {
+					var all []elem.Rec100
+					for rank := 0; rank < p; rank++ {
+						all = append(all, confInput(rank)...)
+					}
+					return all
+				}())
+				if tcpAll.Records != want.Records || tcpAll.Checksum != want.Checksum {
+					t.Fatalf("output is not a permutation of the input: got %d/%016x, want %d/%016x",
+						tcpAll.Records, tcpAll.Checksum, want.Records, want.Checksum)
+				}
+			})
+		}
 	}
 }

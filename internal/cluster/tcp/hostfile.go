@@ -1,0 +1,172 @@
+package tcp
+
+// Hostfile support: the one-file description of a real cluster that
+// demsort's multi-host launcher consumes. The format is one host per
+// line, MPI-hostfile-shaped:
+//
+//	# comment (blank lines ignored)
+//	hostA            slots=4
+//	hostB:7100       slots=2
+//	localhost
+//
+// Each line contributes Slots ranks (default 1), placed consecutively;
+// the machine size P is the total slot count. A host may carry an
+// explicit first listen port — rank s of that host listens on port+s.
+// Hosts without a port get launcher-assigned ports: ephemeral
+// reservations for loopback hosts (exactly what the single-host fork
+// launcher does), a base-port arithmetic for remote ones (the launcher
+// cannot reserve ports on a machine it has not reached yet).
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"net"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// Host is one parsed hostfile line: Slots ranks on Addr, listening on
+// consecutive ports from Port (0 = launcher-assigned).
+type Host struct {
+	Addr  string
+	Port  int
+	Slots int
+}
+
+// Placement is one rank's spawn plan: where it runs and the address
+// it listens on (empty until the launcher assigns an ephemeral port —
+// only ever the case for loopback hosts).
+type Placement struct {
+	Rank   int
+	Host   string
+	Listen string
+	Local  bool
+}
+
+// IsLoopbackHost reports whether a hostfile host names this machine's
+// loopback — the spawn-by-fork (rather than ssh) case.
+func IsLoopbackHost(host string) bool {
+	switch strings.ToLower(host) {
+	case "localhost", "127.0.0.1", "::1", "[::1]":
+		return true
+	}
+	return false
+}
+
+// ParseHostfile reads the hostfile format from r.
+func ParseHostfile(r io.Reader) ([]Host, error) {
+	var hosts []Host
+	sc := bufio.NewScanner(r)
+	for lineNo := 1; sc.Scan(); lineNo++ {
+		line := sc.Text()
+		if i := strings.IndexByte(line, '#'); i >= 0 {
+			line = line[:i]
+		}
+		fields := strings.Fields(line)
+		if len(fields) == 0 {
+			continue
+		}
+		h := Host{Slots: 1}
+		spec := fields[0]
+		if host, port, err := net.SplitHostPort(spec); err == nil {
+			pn, err := strconv.Atoi(port)
+			if err != nil || pn < 1 || pn > 65535 {
+				return nil, fmt.Errorf("hostfile line %d: bad port in %q", lineNo, spec)
+			}
+			h.Addr, h.Port = host, pn
+		} else {
+			h.Addr = spec
+		}
+		if h.Addr == "" {
+			return nil, fmt.Errorf("hostfile line %d: empty host", lineNo)
+		}
+		for _, opt := range fields[1:] {
+			key, val, ok := strings.Cut(opt, "=")
+			if !ok || key != "slots" {
+				return nil, fmt.Errorf("hostfile line %d: unknown option %q (want slots=k)", lineNo, opt)
+			}
+			n, err := strconv.Atoi(val)
+			if err != nil || n < 1 {
+				return nil, fmt.Errorf("hostfile line %d: bad slot count %q", lineNo, val)
+			}
+			h.Slots = n
+		}
+		hosts = append(hosts, h)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("hostfile: %w", err)
+	}
+	if len(hosts) == 0 {
+		return nil, fmt.Errorf("hostfile: no hosts")
+	}
+	return hosts, nil
+}
+
+// LoadHostfile reads and parses the hostfile at path.
+func LoadHostfile(path string) ([]Host, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("hostfile: %w", err)
+	}
+	defer f.Close()
+	hosts, err := ParseHostfile(f)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return hosts, nil
+}
+
+// PlaceRanks turns a hostfile into one Placement per rank (P = total
+// slots), assigning listen ports: explicit hostfile ports count up
+// from their base per rank on that host; port-less remote hosts count
+// up from basePort; port-less loopback hosts are left for the
+// launcher's ephemeral reservation (Listen == ""), matching the
+// single-host fork launcher byte for byte. Ephemeral loopback ranks
+// are rejected when the hostfile also names remote hosts — a
+// launcher-local 127.0.0.1 address is unreachable (or worse, someone
+// else's service) from a remote worker's loopback, so a mixed
+// hostfile must give its loopback hosts explicit ports. Duplicate
+// listen addresses are rejected outright: the second rank's bind
+// would fail and masquerade as a reservation race.
+func PlaceRanks(hosts []Host, basePort int) ([]Placement, error) {
+	hasRemote := false
+	for _, h := range hosts {
+		hasRemote = hasRemote || !IsLoopbackHost(h.Addr)
+	}
+	var placements []Placement
+	placed := map[string]int{} // ranks placed so far per host addr
+	seen := map[string]bool{}  // assigned listen addresses
+	rank := 0
+	for _, h := range hosts {
+		local := IsLoopbackHost(h.Addr)
+		for s := 0; s < h.Slots; s++ {
+			pl := Placement{Rank: rank, Host: h.Addr, Local: local}
+			switch {
+			case h.Port > 0:
+				pl.Listen = net.JoinHostPort(h.Addr, strconv.Itoa(h.Port+s))
+			case local:
+				// ephemeral: the launcher reserves a free port
+				if hasRemote {
+					return nil, fmt.Errorf("hostfile: loopback host %s needs an explicit port in a multi-host fleet (remote workers cannot reach a launcher-reserved 127.0.0.1 port)", h.Addr)
+				}
+			default:
+				if basePort <= 0 {
+					return nil, fmt.Errorf("hostfile: remote host %s needs an explicit port (no base port configured)", h.Addr)
+				}
+				pl.Listen = net.JoinHostPort(h.Addr, strconv.Itoa(basePort+placed[h.Addr]))
+			}
+			if pl.Listen != "" {
+				if seen[pl.Listen] {
+					return nil, fmt.Errorf("hostfile: listen address %s assigned to two ranks (same host:port on several lines?)", pl.Listen)
+				}
+				seen[pl.Listen] = true
+			}
+			placed[h.Addr]++
+			placements = append(placements, pl)
+			rank++
+		}
+	}
+	return placements, nil
+}

@@ -1,0 +1,127 @@
+package tcp
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestParseHostfile(t *testing.T) {
+	hf := `
+# cluster description
+hostA         slots=4   # four ranks here
+hostB:7100    slots=2
+localhost
+[::1]:9000    slots=2
+`
+	hosts, err := ParseHostfile(strings.NewReader(hf))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []Host{
+		{Addr: "hostA", Port: 0, Slots: 4},
+		{Addr: "hostB", Port: 7100, Slots: 2},
+		{Addr: "localhost", Port: 0, Slots: 1},
+		{Addr: "::1", Port: 9000, Slots: 2},
+	}
+	if len(hosts) != len(want) {
+		t.Fatalf("parsed %d hosts, want %d: %+v", len(hosts), len(want), hosts)
+	}
+	for i, h := range hosts {
+		if h != want[i] {
+			t.Fatalf("host %d = %+v, want %+v", i, h, want[i])
+		}
+	}
+}
+
+func TestParseHostfileErrors(t *testing.T) {
+	for _, bad := range []string{
+		"",                      // no hosts
+		"# only a comment\n",    // no hosts
+		"hostA slots=0",         // bad slot count
+		"hostA slots=x",         // bad slot count
+		"hostA cpus=4",          // unknown option
+		"hostA:notaport",        // bad port
+		"hostA:70000 slots=2",   // port out of range
+		"hostA slots=2 slots=x", // second option bad
+	} {
+		if _, err := ParseHostfile(strings.NewReader(bad)); err == nil {
+			t.Errorf("hostfile %q parsed without error", bad)
+		}
+	}
+}
+
+func TestPlaceRanks(t *testing.T) {
+	hosts := []Host{
+		{Addr: "localhost", Port: 6000, Slots: 2},
+		{Addr: "hostA", Port: 7100, Slots: 2},
+		{Addr: "hostB", Slots: 2},
+		{Addr: "hostB", Slots: 1}, // second line, same host: ports keep counting
+	}
+	pls, err := PlaceRanks(hosts, 7070)
+	if err != nil {
+		t.Fatal(err)
+	}
+	type want struct {
+		host, listen string
+		local        bool
+	}
+	wants := []want{
+		{"localhost", "localhost:6000", true},
+		{"localhost", "localhost:6001", true},
+		{"hostA", "hostA:7100", false},
+		{"hostA", "hostA:7101", false},
+		{"hostB", "hostB:7070", false},
+		{"hostB", "hostB:7071", false},
+		{"hostB", "hostB:7072", false},
+	}
+	if len(pls) != len(wants) {
+		t.Fatalf("placed %d ranks, want %d", len(pls), len(wants))
+	}
+	for i, pl := range pls {
+		if pl.Rank != i || pl.Host != wants[i].host || pl.Listen != wants[i].listen || pl.Local != wants[i].local {
+			t.Fatalf("placement %d = %+v, want %+v", i, pl, wants[i])
+		}
+	}
+}
+
+func TestPlaceRanksAllLoopbackIsEphemeral(t *testing.T) {
+	pls, err := PlaceRanks([]Host{
+		{Addr: "localhost", Slots: 2},
+		{Addr: "127.0.0.1", Slots: 2},
+	}, 7070)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, pl := range pls {
+		if !pl.Local || pl.Listen != "" {
+			t.Fatalf("placement %d = %+v, want local with launcher-reserved port", i, pl)
+		}
+	}
+}
+
+func TestPlaceRanksRejectsBadFleets(t *testing.T) {
+	cases := []struct {
+		name     string
+		hosts    []Host
+		basePort int
+	}{
+		{"remote without port or base port", []Host{{Addr: "hostA", Slots: 1}}, 0},
+		{"ephemeral loopback in a multi-host fleet", []Host{
+			{Addr: "localhost", Slots: 2},
+			{Addr: "hostA", Port: 7100, Slots: 2},
+		}, 7070},
+		{"duplicate explicit listen address", []Host{
+			{Addr: "hostA", Port: 7100, Slots: 2},
+			{Addr: "hostA", Port: 7101, Slots: 1}, // collides with rank 1
+		}, 7070},
+		{"explicit port colliding with base-port arithmetic", []Host{
+			{Addr: "hostB", Slots: 2},             // 7070, 7071
+			{Addr: "hostB", Port: 7071, Slots: 1}, // collides
+		}, 7070},
+	}
+	for _, tc := range cases {
+		if _, err := PlaceRanks(tc.hosts, tc.basePort); err == nil {
+			t.Errorf("%s: placement succeeded, want error", tc.name)
+		}
+	}
+}

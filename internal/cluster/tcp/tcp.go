@@ -2,10 +2,14 @@
 // plane: one OS process per PE, exchanging length-prefixed framed
 // messages over persistent pairwise TCP connections (localhost or a
 // host list). It plays the role MVAPICH plays in the paper — the
-// collectives are built from point-to-point primitives with simple
-// flat/pairwise schedules, because correctness and streaming (the
-// all-to-all never funnels the machine's P² streams through one node)
-// are the point here, not topology tuning.
+// collectives are built from point-to-point primitives with
+// cluster-shaped schedules (topology.go): the rooted collectives
+// (Barrier, Bcast, AllGather, AllReduceInt64) run over a binomial
+// tree in O(log P) rounds, and the personalised exchanges (AllToAllv,
+// ExchangeAny) follow a 1-factorization of K_P, so every round is a
+// perfect matching with one exchange per link in each direction —
+// balanced link load, and the machine's P² streams never funnel
+// through one node.
 //
 // Timing differs from the sim backend by design: a tcp PE reports real
 // wall-clock seconds per phase (cluster.Stats backed by time.Now), and
@@ -31,11 +35,13 @@ import (
 	"bytes"
 	"encoding/binary"
 	"encoding/gob"
+	"errors"
 	"fmt"
 	"io"
 	"net"
 	"sync"
 	"sync/atomic"
+	"syscall"
 	"time"
 
 	"demsort/internal/blockio"
@@ -61,6 +67,14 @@ const (
 
 // handshake magic prefixing the dialer's rank announcement.
 const magic = 0x44454d53 // "DEMS"
+
+// ErrBind marks a New failure to bind the configured listen address —
+// usually the reservation race (another process grabbed a ReservePorts
+// port between the launcher closing it and this worker re-binding).
+// Launchers detect it with errors.Is and retry the fleet on fresh
+// ports instead of letting the peers dial a dead address until their
+// connect timeout.
+var ErrBind = errors.New("listen address unavailable")
 
 func init() {
 	// Common metadata types so ExchangeAny works out of the box.
@@ -167,6 +181,12 @@ func New(cfg Config) (*Machine, error) {
 		}
 		ln, err := net.Listen("tcp", addr)
 		if err != nil {
+			// Only an address already in use is the reservation race
+			// (ErrBind → launcher retries on fresh ports); a bad or
+			// unroutable listen address is not retryable.
+			if errors.Is(err, syscall.EADDRINUSE) {
+				return nil, fmt.Errorf("tcp: rank %d listen %s (%v): %w", cfg.Rank, addr, err, ErrBind)
+			}
 			return nil, fmt.Errorf("tcp: rank %d listen %s: %w", cfg.Rank, addr, err)
 		}
 		m.ln = ln
@@ -554,86 +574,115 @@ func (m *Machine) Recv(src, tag int) []byte {
 // Collectives from point-to-point.
 // ---------------------------------------------------------------------
 
-// Barrier implements cluster.Transport: flat gather to rank 0 plus
-// release.
+// Barrier implements cluster.Transport: a binomial-tree reduce to
+// rank 0 followed by a tree release, O(log P) rounds each way.
 func (m *Machine) Barrier() {
 	if m.p == 1 {
 		return
 	}
-	if m.rank == 0 {
-		for src := 1; src < m.p; src++ {
-			m.recvFrame(src, tagBarrier)
-		}
-		for dst := 1; dst < m.p; dst++ {
-			m.sendFrame(dst, tagBarrierAck, nil)
-		}
-		return
+	children, parent := btreeUp(m.rank, m.p)
+	for _, c := range children {
+		bufpool.Put(m.recvFrame(c, tagBarrier))
 	}
-	m.sendFrame(0, tagBarrier, nil)
-	m.recvFrame(0, tagBarrierAck)
+	if parent >= 0 {
+		m.sendFrame(parent, tagBarrier, nil)
+		bufpool.Put(m.recvFrame(parent, tagBarrierAck))
+	}
+	for i := len(children) - 1; i >= 0; i-- {
+		m.sendFrame(children[i], tagBarrierAck, nil)
+	}
 }
 
-// AllToAllv implements cluster.Transport with a pairwise schedule:
-// round d exchanges with ranks (rank±d) mod P, so each PE stages only
-// its own O(N/P) send and receive buffers and the machine's P² streams
-// never funnel through one node. Eager reader-side buffering makes the
-// schedule deadlock-free even when ranks progress at different rates.
+// AllToAllv implements cluster.Transport with a 1-factorization
+// schedule: the rounds partition all rank pairs into perfect
+// matchings, so each PE stages only its own O(N/P) send and receive
+// buffers, every link carries exactly one exchange per round in each
+// direction, and the machine's P² streams never funnel through one
+// node. Eager reader-side buffering makes the schedule deadlock-free
+// even when ranks progress at different rates.
 func (m *Machine) AllToAllv(send [][]byte) [][]byte {
 	if len(send) != m.p {
 		m.failNow(fmt.Errorf("tcp: AllToAllv needs %d destination slots, got %d", m.p, len(send)))
 	}
 	recv := make([][]byte, m.p)
 	recv[m.rank] = send[m.rank] // self-message: delivered uncopied, off-network
-	for d := 1; d < m.p; d++ {
-		dst := (m.rank + d) % m.p
-		src := (m.rank + m.p - d) % m.p
-		m.sendFrame(dst, tagA2A, send[dst])
-		recv[src] = m.recvFrame(src, tagA2A)
+	for r := 0; r < oneFactorRounds(m.p); r++ {
+		q := oneFactorPartner(m.rank, r, m.p)
+		if q < 0 {
+			continue // odd P: paired with the dummy this round
+		}
+		m.sendFrame(q, tagA2A, send[q])
+		recv[q] = m.recvFrame(q, tagA2A)
 	}
 	return recv
 }
 
-// AllGather implements cluster.Transport: flat gather to rank 0, then
-// a broadcast of the length-prefixed concatenation (shared
-// structurally by the decoded slices).
+// bcastTree distributes data down the binomial tree rooted at root
+// with the given tag and returns this rank's copy. Non-root ranks
+// copy the payload out of the pooled receive buffer (the result is
+// retained by callers and shared structurally, so it must not alias
+// the arena) and recycle it before relaying.
+func (m *Machine) bcastTree(root int, data []byte, tag int) []byte {
+	vrank := (m.rank - root + m.p) % m.p
+	children, parent := btreeUp(vrank, m.p)
+	if parent >= 0 {
+		payload := m.recvFrame((parent+root)%m.p, tag)
+		data = append(make([]byte, 0, len(payload)), payload...)
+		bufpool.Put(payload)
+	}
+	for i := len(children) - 1; i >= 0; i-- { // descending subtree size
+		m.sendFrame((children[i]+root)%m.p, tag, data)
+	}
+	return data
+}
+
+// AllGather implements cluster.Transport: a binomial-tree gather to
+// rank 0 (each node forwards its subtree's parts as one
+// length-prefixed vector), then a tree broadcast of the full
+// concatenation, O(log P) rounds each way. The returned slices share
+// the broadcast vector structurally; no pooled buffer escapes.
 func (m *Machine) AllGather(data []byte) [][]byte {
 	if m.p == 1 {
 		return [][]byte{data}
 	}
-	if m.rank == 0 {
-		parts := make([][]byte, m.p)
-		parts[0] = data
-		for src := 1; src < m.p; src++ {
-			parts[src] = m.recvFrame(src, tagGather)
-		}
-		vec := encodeVec(parts)
-		for dst := 1; dst < m.p; dst++ {
-			m.sendFrame(dst, tagGatherVec, vec)
-		}
-		return parts
+	parts := make([][]byte, m.p) // indexed by rank; this node fills [rank, rank+span)
+	parts[m.rank] = data
+	children, parent := btreeUp(m.rank, m.p)
+	var pooled [][]byte // children's vectors: recycled after re-encoding
+	for _, c := range children {
+		payload := m.recvFrame(c, tagGather)
+		copy(parts[c:], decodeVec(payload, btreeSpan(c, m.p)))
+		pooled = append(pooled, payload)
 	}
-	m.sendFrame(0, tagGather, data)
-	return decodeVec(m.recvFrame(0, tagGatherVec), m.p)
+	var full []byte
+	if parent >= 0 {
+		m.sendFrame(parent, tagGather, encodeVec(parts[m.rank:m.rank+btreeSpan(m.rank, m.p)]))
+		for _, b := range pooled {
+			bufpool.Put(b)
+		}
+		full = m.bcastTree(0, nil, tagGatherVec)
+	} else {
+		full = encodeVec(parts)
+		for _, b := range pooled {
+			bufpool.Put(b)
+		}
+		m.bcastTree(0, full, tagGatherVec)
+	}
+	return decodeVec(full, m.p)
 }
 
-// Bcast implements cluster.Transport: flat root-to-all.
+// Bcast implements cluster.Transport: binomial tree from root,
+// O(log P) rounds.
 func (m *Machine) Bcast(root int, data []byte) []byte {
 	if m.p == 1 {
 		return data
 	}
-	if m.rank == root {
-		for dst := 0; dst < m.p; dst++ {
-			if dst != root {
-				m.sendFrame(dst, tagBcast, data)
-			}
-		}
-		return data
-	}
-	return m.recvFrame(root, tagBcast)
+	return m.bcastTree(root, data, tagBcast)
 }
 
-// AllReduceInt64 implements cluster.Transport: reduce at rank 0, then
-// broadcast the result.
+// AllReduceInt64 implements cluster.Transport: a binomial-tree reduce
+// to rank 0 (partial results combine on the way up), then a tree
+// broadcast of the result, O(log P) rounds each way.
 func (m *Machine) AllReduceInt64(v int64, op string) int64 {
 	reduce := func(acc, x int64) int64 {
 		switch op {
@@ -660,52 +709,55 @@ func (m *Machine) AllReduceInt64(v int64, op string) int64 {
 		reduce(0, 0) // still validate op
 		return v
 	}
-	var buf [8]byte
-	if m.rank == 0 {
-		acc := v
-		for src := 1; src < m.p; src++ {
-			x := m.recvFrame(src, tagReduce)
-			acc = reduce(acc, int64(binary.LittleEndian.Uint64(x)))
-			bufpool.Put(x)
-		}
-		binary.LittleEndian.PutUint64(buf[:], uint64(acc))
-		for dst := 1; dst < m.p; dst++ {
-			m.sendFrame(dst, tagReduceRes, buf[:])
-		}
-		return acc
+	children, parent := btreeUp(m.rank, m.p)
+	acc := v
+	for _, c := range children {
+		x := m.recvFrame(c, tagReduce)
+		acc = reduce(acc, int64(binary.LittleEndian.Uint64(x)))
+		bufpool.Put(x)
 	}
-	binary.LittleEndian.PutUint64(buf[:], uint64(v))
-	m.sendFrame(0, tagReduce, buf[:])
-	res := m.recvFrame(0, tagReduceRes)
-	out := int64(binary.LittleEndian.Uint64(res))
-	bufpool.Put(res)
-	return out
+	var buf [8]byte
+	if parent >= 0 {
+		binary.LittleEndian.PutUint64(buf[:], uint64(acc))
+		m.sendFrame(parent, tagReduce, buf[:])
+		res := m.recvFrame(parent, tagReduceRes)
+		acc = int64(binary.LittleEndian.Uint64(res))
+		bufpool.Put(res)
+	}
+	binary.LittleEndian.PutUint64(buf[:], uint64(acc))
+	for i := len(children) - 1; i >= 0; i-- {
+		m.sendFrame(children[i], tagReduceRes, buf[:])
+	}
+	return acc
 }
 
 // ExchangeAny implements cluster.Transport: items cross address
-// spaces gob-encoded, pairwise like AllToAllv. nominalBytes is a
-// cost-model parameter without meaning on this backend.
+// spaces gob-encoded, on the same 1-factorization schedule as
+// AllToAllv. nominalBytes is a cost-model parameter without meaning on
+// this backend.
 func (m *Machine) ExchangeAny(items []any, nominalBytes int) []any {
 	if len(items) != m.p {
 		m.failNow(fmt.Errorf("tcp: ExchangeAny needs %d items, got %d", m.p, len(items)))
 	}
 	out := make([]any, m.p)
 	out[m.rank] = items[m.rank]
-	for d := 1; d < m.p; d++ {
-		dst := (m.rank + d) % m.p
-		src := (m.rank + m.p - d) % m.p
-		var buf bytes.Buffer
-		if err := gob.NewEncoder(&buf).Encode(&items[dst]); err != nil {
-			m.failNow(fmt.Errorf("tcp: ExchangeAny encode for %d: %w", dst, err))
+	for r := 0; r < oneFactorRounds(m.p); r++ {
+		q := oneFactorPartner(m.rank, r, m.p)
+		if q < 0 {
+			continue
 		}
-		m.sendFrame(dst, tagXAny, buf.Bytes())
-		payload := m.recvFrame(src, tagXAny)
+		var buf bytes.Buffer
+		if err := gob.NewEncoder(&buf).Encode(&items[q]); err != nil {
+			m.failNow(fmt.Errorf("tcp: ExchangeAny encode for %d: %w", q, err))
+		}
+		m.sendFrame(q, tagXAny, buf.Bytes())
+		payload := m.recvFrame(q, tagXAny)
 		var v any
 		if err := gob.NewDecoder(bytes.NewReader(payload)).Decode(&v); err != nil {
-			m.failNow(fmt.Errorf("tcp: ExchangeAny decode from %d: %w", src, err))
+			m.failNow(fmt.Errorf("tcp: ExchangeAny decode from %d: %w", q, err))
 		}
 		bufpool.Put(payload)
-		out[src] = v
+		out[q] = v
 	}
 	return out
 }
@@ -714,7 +766,9 @@ func (m *Machine) ExchangeAny(items []any, nominalBytes int) []any {
 // briefly binding 127.0.0.1:0 — the launcher's (and the tests') way to
 // build a Peers list. The listeners are closed before the machines
 // bind, so a rare race with another process grabbing a port in between
-// is possible; callers on contended hosts should pass explicit ports.
+// is possible; New reports that as ErrBind, and launchers respond by
+// reaping the fleet and retrying with a fresh reservation (explicit
+// ports sidestep the race entirely).
 func ReservePorts(p int) ([]string, error) {
 	addrs := make([]string, p)
 	lns := make([]net.Listener, 0, p)

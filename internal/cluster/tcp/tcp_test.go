@@ -164,6 +164,86 @@ func TestAllReduce(t *testing.T) {
 	})
 }
 
+// TestCollectivesManyRanks sweeps the tree/1-factor schedules across
+// machine sizes that stress them differently: odd P (dummy rounds in
+// the 1-factorization), non-power-of-two P (clipped binomial
+// subtrees), and a power of two.
+func TestCollectivesManyRanks(t *testing.T) {
+	for _, p := range []int{3, 5, 6, 8} {
+		p := p
+		t.Run(fmt.Sprintf("P%d", p), func(t *testing.T) {
+			runMachines(t, p, func(n *cluster.Node) error {
+				n.Barrier()
+				all := n.AllGather([]byte{byte(n.Rank), byte(n.Rank * 3)})
+				for j := 0; j < p; j++ {
+					if len(all[j]) != 2 || all[j][0] != byte(j) || all[j][1] != byte(j*3) {
+						return fmt.Errorf("allgather[%d] = %v", j, all[j])
+					}
+				}
+				for root := 0; root < p; root++ {
+					got := n.Bcast(root, []byte{byte(100 + n.Rank)})
+					if len(got) != 1 || got[0] != byte(100+root) {
+						return fmt.Errorf("bcast root %d got %v", root, got)
+					}
+				}
+				if got, want := n.AllReduceInt64(int64(n.Rank+1), "sum"), int64(p*(p+1)/2); got != want {
+					return fmt.Errorf("sum = %d, want %d", got, want)
+				}
+				if got := n.AllReduceInt64(int64(n.Rank), "max"); got != int64(p-1) {
+					return fmt.Errorf("max = %d, want %d", got, p-1)
+				}
+				send := make([][]byte, p)
+				for j := 0; j < p; j++ {
+					send[j] = bytes.Repeat([]byte{byte(16*n.Rank + j)}, 3+j+n.Rank)
+				}
+				recv := n.AllToAllv(send)
+				for j := 0; j < p; j++ {
+					want := bytes.Repeat([]byte{byte(16*j + n.Rank)}, 3+n.Rank+j)
+					if !bytes.Equal(recv[j], want) {
+						return fmt.Errorf("alltoallv recv[%d] = %v, want %v", j, recv[j], want)
+					}
+				}
+				n.Barrier()
+				return nil
+			})
+		})
+	}
+}
+
+// TestCollectiveResultsDoNotAliasArena pins the pooled-buffer
+// contract: AllGather and Bcast results are retained by callers, so
+// they must not alias arena buffers that later traffic will reuse.
+// The test takes collective results, then churns the arena with
+// all-to-all rounds (whose receive buffers are recycled), and checks
+// the earlier results are still intact.
+func TestCollectiveResultsDoNotAliasArena(t *testing.T) {
+	const p = 4
+	runMachines(t, p, func(n *cluster.Node) error {
+		gathered := n.AllGather(bytes.Repeat([]byte{byte(n.Rank + 1)}, 256))
+		bcasted := n.Bcast(2, bytes.Repeat([]byte{0xAB}, 512))
+		for round := 0; round < 8; round++ {
+			send := make([][]byte, p)
+			for j := 0; j < p; j++ {
+				send[j] = bytes.Repeat([]byte{0xFF}, 256+round)
+			}
+			cluster.RecycleRecv(n.AllToAllv(send))
+		}
+		for j := 0; j < p; j++ {
+			for _, b := range gathered[j] {
+				if b != byte(j+1) {
+					return fmt.Errorf("allgather result for rank %d was clobbered", j)
+				}
+			}
+		}
+		for _, b := range bcasted {
+			if b != 0xAB {
+				return fmt.Errorf("bcast result was clobbered")
+			}
+		}
+		return nil
+	})
+}
+
 func TestSendRecvOrdering(t *testing.T) {
 	runMachines(t, 2, func(n *cluster.Node) error {
 		if n.Rank == 0 {

@@ -1,0 +1,92 @@
+package tcp
+
+// Collective schedules. The flat O(P)-round schedules of the first tcp
+// backend are replaced by the two classic topologies MPI
+// implementations use at cluster scale:
+//
+//   - a binomial tree for the rooted collectives (Bcast, gather,
+//     reduce, Barrier): O(log P) rounds, every node relays to at most
+//     log P children, no node touches more than its subtree's data;
+//   - a 1-factorization of the complete graph K_P for the personalised
+//     exchanges (AllToAllv, ExchangeAny): the P-1 rounds (P rounds for
+//     odd P) partition all rank pairs into perfect matchings, so in
+//     every round each link carries exactly one exchange in each
+//     direction — balanced link load with no hot node, the property
+//     MP-sort identifies as dominant at scale.
+//
+// The schedules are pure functions of (rank, P) so they can be
+// conformance-tested exhaustively without sockets.
+
+// btreeUp returns vrank's children (ascending subtree size — the
+// receive order of the reduce/gather direction) and parent in the
+// binomial tree over p nodes rooted at vrank 0; parent is -1 for the
+// root. The broadcast direction uses the same edges: parent first,
+// then children in reverse (descending subtree size).
+func btreeUp(vrank, p int) (children []int, parent int) {
+	parent = -1
+	for mask := 1; mask < p; mask <<= 1 {
+		if vrank&mask != 0 {
+			parent = vrank - mask
+			break
+		}
+		if vrank+mask < p {
+			children = append(children, vrank+mask)
+		}
+	}
+	return children, parent
+}
+
+// btreeSpan returns the number of consecutive vranks [vrank, vrank+n)
+// covered by vrank's subtree when it hands its accumulated parts to
+// its parent: the subtree of a node attached at bit b spans 2^b
+// vranks, clipped to the machine size.
+func btreeSpan(vrank, p int) int {
+	if vrank == 0 {
+		return p
+	}
+	span := vrank & -vrank // lowest set bit
+	if vrank+span > p {
+		span = p - vrank
+	}
+	return span
+}
+
+// oneFactorRounds returns the number of rounds of the 1-factorization
+// schedule over p ranks: p-1 for even p, p for odd p (one idle rank
+// per round pairs with the dummy).
+func oneFactorRounds(p int) int {
+	if p%2 == 0 {
+		return p - 1
+	}
+	return p
+}
+
+// oneFactorPartner returns rank's exchange partner in round r of the
+// 1-factorization schedule, or -1 when rank idles that round (odd p
+// only: its partner is the dummy node). The construction is the circle
+// method: ranks 0..n-2 on a circle, rank n-1 (or the dummy) in the
+// centre; round r pairs i with (r-i) mod (n-1), the fixed point with
+// the centre.
+func oneFactorPartner(rank, r, p int) int {
+	n := p
+	if n%2 == 1 {
+		n++ // dummy node n-1
+	}
+	m := n - 1 // odd
+	var q int
+	switch {
+	case rank == m:
+		// centre: the fixed point i with 2i ≡ r (mod m); n/2 is the
+		// inverse of 2 because 2·(n/2) = n ≡ 1 (mod m).
+		q = r * (n / 2) % m
+	default:
+		q = ((r-rank)%m + m) % m
+		if q == rank {
+			q = m
+		}
+	}
+	if q >= p {
+		return -1 // paired with the dummy: idle round
+	}
+	return q
+}

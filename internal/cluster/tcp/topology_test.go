@@ -1,0 +1,119 @@
+package tcp
+
+import (
+	"fmt"
+	"testing"
+)
+
+// TestBinomialTreeIsSpanning checks, for every machine size, that the
+// up edges form one tree rooted at 0 (every non-root has exactly one
+// parent, parent/child views agree) and that its depth is O(log P).
+func TestBinomialTreeIsSpanning(t *testing.T) {
+	for p := 1; p <= 70; p++ {
+		parents := make([]int, p)
+		for v := 0; v < p; v++ {
+			children, parent := btreeUp(v, p)
+			parents[v] = parent
+			for _, c := range children {
+				if c <= v || c >= p {
+					t.Fatalf("p=%d: node %d has out-of-range child %d", p, v, c)
+				}
+				if _, cp := btreeUp(c, p); cp != v {
+					t.Fatalf("p=%d: node %d claims child %d, whose parent is %d", p, v, c, cp)
+				}
+			}
+		}
+		if parents[0] != -1 {
+			t.Fatalf("p=%d: root has parent %d", p, parents[0])
+		}
+		maxDepth := 0
+		for v := 1; v < p; v++ {
+			depth := 0
+			for u := v; u != 0; u = parents[u] {
+				if parents[u] < 0 || parents[u] >= u {
+					t.Fatalf("p=%d: node %d has bad parent chain at %d -> %d", p, v, u, parents[u])
+				}
+				depth++
+				if depth > p {
+					t.Fatalf("p=%d: parent chain of %d does not reach the root", p, v)
+				}
+			}
+			if depth > maxDepth {
+				maxDepth = depth
+			}
+		}
+		logP := 0
+		for 1<<logP < p {
+			logP++
+		}
+		if maxDepth > logP {
+			t.Fatalf("p=%d: tree depth %d exceeds ceil(log2 P)=%d", p, maxDepth, logP)
+		}
+	}
+}
+
+// TestBinomialTreeSpans checks that a node's advertised gather span
+// matches the set of vranks its subtree actually covers.
+func TestBinomialTreeSpans(t *testing.T) {
+	for p := 1; p <= 70; p++ {
+		covered := make([]int, p) // vranks covered by each subtree, computed bottom-up
+		for v := p - 1; v >= 0; v-- {
+			covered[v] = 1
+			children, _ := btreeUp(v, p)
+			for _, c := range children {
+				covered[v] += covered[c]
+			}
+		}
+		for v := 0; v < p; v++ {
+			if got, want := btreeSpan(v, p), covered[v]; got != want {
+				t.Fatalf("p=%d: span(%d) = %d, subtree covers %d", p, v, got, want)
+			}
+		}
+	}
+}
+
+// TestOneFactorizationIsPerfect checks that every round is a perfect
+// matching (partner relation is symmetric, nobody is paired twice) and
+// that across all rounds every pair of distinct ranks meets exactly
+// once.
+func TestOneFactorizationIsPerfect(t *testing.T) {
+	for p := 1; p <= 33; p++ {
+		t.Run(fmt.Sprintf("P%d", p), func(t *testing.T) {
+			met := make(map[[2]int]int)
+			rounds := oneFactorRounds(p)
+			wantIdle := 0
+			if p%2 == 1 {
+				wantIdle = 1
+			}
+			for r := 0; r < rounds; r++ {
+				idle := 0
+				for rank := 0; rank < p; rank++ {
+					q := oneFactorPartner(rank, r, p)
+					if q == -1 {
+						idle++
+						continue
+					}
+					if q == rank || q < 0 || q >= p {
+						t.Fatalf("round %d: rank %d paired with %d", r, rank, q)
+					}
+					if back := oneFactorPartner(q, r, p); back != rank {
+						t.Fatalf("round %d: rank %d -> %d, but %d -> %d", r, rank, q, q, back)
+					}
+					if rank < q {
+						met[[2]int{rank, q}]++
+					}
+				}
+				if idle != wantIdle {
+					t.Fatalf("round %d: %d idle ranks, want %d", r, idle, wantIdle)
+				}
+			}
+			for a := 0; a < p; a++ {
+				for b := a + 1; b < p; b++ {
+					if met[[2]int{a, b}] != 1 {
+						t.Fatalf("pair (%d,%d) met %d times", a, b, met[[2]int{a, b}])
+					}
+				}
+			}
+		})
+	}
+}

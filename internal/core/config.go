@@ -84,6 +84,17 @@ type Config struct {
 	// KeepOutput retains the sorted output so Result.Output can read
 	// it back (tests); production callers stream it from the volumes.
 	KeepOutput bool
+	// Sink, when non-nil, streams each locally hosted rank's sorted
+	// output as encoded element bytes — in order, block-at-a-time,
+	// straight off the rank's block store — during the collect step.
+	// It is the scalable alternative to KeepOutput: the output never
+	// has to be materialized in RAM (demsort's tcp workers write their
+	// part files through it). The byte slice is only valid for the
+	// duration of the call. Calls for one rank are sequential; on the
+	// sim backend different ranks stream concurrently, so a Sink
+	// shared across ranks must be safe for concurrent calls with
+	// distinct rank arguments. A Sink error aborts the sort.
+	Sink func(rank int, encoded []byte) error
 	// Model is the virtual-time cost model (zero value: vtime.Default).
 	Model vtime.CostModel
 	// NewStore optionally overrides the per-PE block store (e.g.

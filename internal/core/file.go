@@ -274,6 +274,27 @@ func (r *reader[T]) next() (T, bool) {
 	return v, true
 }
 
+// streamRaw feeds a File's encoded bytes to fn in element order, one
+// extent at a time through a single pooled buffer — the zero-RAM-
+// footprint way to drain a sorted output file (Config.Sink). The
+// slice passed to fn is only valid for the duration of the call.
+func streamRaw[T any](c elem.Codec[T], vol *blockio.Volume, f File, fn func([]byte) error) error {
+	raw := bufpool.Get(vol.BlockBytes())
+	defer func() { bufpool.Put(raw) }()
+	for _, e := range f.Extents {
+		need := (e.Off + e.Len) * c.Size()
+		if cap(raw) < need {
+			bufpool.Put(raw)
+			raw = bufpool.Get(need)
+		}
+		vol.ReadWait(e.ID, raw[:need])
+		if err := fn(raw[e.Off*c.Size() : need]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
 // readAll decodes a whole file into memory (tests and small metadata).
 func readAll[T any](c elem.Codec[T], vol *blockio.Volume, f File) []T {
 	out := make([]T, 0, f.N)

@@ -232,6 +232,14 @@ func Sort[T any](c elem.Codec[T], cfg Config, input [][]T) (*Result[T], error) {
 		if cfg.KeepOutput {
 			res.Output[n.Rank] = readAll(c, n.Vol, out)
 		}
+		if cfg.Sink != nil {
+			err := streamRaw(c, n.Vol, out, func(b []byte) error {
+				return cfg.Sink(n.Rank, b)
+			})
+			if err != nil {
+				return fmt.Errorf("core: output sink, rank %d: %w", n.Rank, err)
+			}
+		}
 		res.PeakMemElems[n.Rank] = n.Mem.Peak()
 		res.PeakDiskBlocks[n.Rank] = n.Vol.PeakUsed()
 		res.EndMemElems[n.Rank] = n.Mem.Used()

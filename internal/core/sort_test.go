@@ -1,6 +1,11 @@
 package core
 
 import (
+	"bytes"
+	"errors"
+	"sync"
+
+	"demsort/internal/blockio"
 	"fmt"
 	"testing"
 
@@ -406,5 +411,55 @@ func TestSortRec100(t *testing.T) {
 	}
 	if err := res.Validate(rc, input); err != nil {
 		t.Fatal(err)
+	}
+}
+
+func TestSortSinkStreamsOutput(t *testing.T) {
+	// Config.Sink must deliver exactly the sorted output bytes, in
+	// order, without requiring KeepOutput's in-RAM materialization —
+	// on the RAM store and on a file-backed store (the -store=file
+	// path of the tcp workers).
+	for _, store := range []string{"ram", "file"} {
+		t.Run(store, func(t *testing.T) {
+			cfg := testConfig(4)
+			if store == "file" {
+				cfg.NewStore = blockio.FileStoreFactory(t.TempDir(), cfg.BlockBytes)
+			}
+			var mu sync.Mutex
+			streamed := make([][]byte, cfg.P)
+			cfg.Sink = func(rank int, b []byte) error {
+				mu.Lock()
+				streamed[rank] = append(streamed[rank], b...)
+				mu.Unlock()
+				return nil
+			}
+			input := inputFor(cfg, workload.Uniform, 5200, 11)
+			res, err := Sort[elem.KV16](kvc, cfg, input)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := res.Validate(kvc, input); err != nil {
+				t.Fatal(err)
+			}
+			for rank := 0; rank < cfg.P; rank++ {
+				want := elem.EncodeSlice(kvc, res.Output[rank])
+				if !bytes.Equal(streamed[rank], want) {
+					t.Fatalf("rank %d: sink streamed %d bytes, KeepOutput has %d; contents differ",
+						rank, len(streamed[rank]), len(want))
+				}
+			}
+		})
+	}
+}
+
+func TestSortSinkErrorAborts(t *testing.T) {
+	cfg := testConfig(2)
+	cfg.KeepOutput = false
+	sinkErr := errors.New("disk full")
+	cfg.Sink = func(rank int, b []byte) error { return sinkErr }
+	input := inputFor(cfg, workload.Uniform, 5000, 3)
+	_, err := Sort[elem.KV16](kvc, cfg, input)
+	if err == nil || !errors.Is(err, sinkErr) {
+		t.Fatalf("sink error must abort the sort, got %v", err)
 	}
 }
