@@ -8,7 +8,10 @@
 //
 // Usage:
 //
-//	benchfig [-out out] [-fig all|2|3|4|5|6|sortbench|capacity|ablations|skew] [-json BENCH.json]
+//	benchfig [-out out] [-fig all|2|3|4|5|6|striped|sortbench|capacity|ablations|skew] [-json BENCH.json]
+//
+// -fig also accepts a comma-separated selection (e.g. -fig 2,striped)
+// so one run archives several figures' timings in a single BENCH.json.
 package main
 
 import (
@@ -17,6 +20,7 @@ import (
 	"fmt"
 	"os"
 	"runtime"
+	"strings"
 	"time"
 
 	demsort "demsort"
@@ -73,8 +77,14 @@ func main() {
 		NumCPU:    runtime.NumCPU(),
 		Timestamp: time.Now().UTC().Format(time.RFC3339),
 	}
+	// -fig accepts a comma-separated selection, so CI can archive
+	// several figures' timings in one BENCH.json (e.g. -fig 2,striped).
+	selected := map[string]bool{}
+	for _, name := range strings.Split(*fig, ",") {
+		selected[strings.TrimSpace(name)] = true
+	}
 	run := func(name string, f func() error) {
-		if *fig != "all" && *fig != name {
+		if !selected["all"] && !selected[name] {
 			return
 		}
 		fmt.Printf("--- %s ---\n", name)
@@ -142,6 +152,7 @@ func main() {
 	run("4", saveFig("fig4", demsort.Fig4))
 	run("5", saveFig("fig5", demsort.Fig5))
 	run("6", saveFig("fig6", demsort.Fig6))
+	run("striped", saveFig("striped_phases", demsort.StripedPhases))
 	run("sortbench", saveTable("sortbench", func() (*demsort.Table, error) { return demsort.SortBenchTable(s) }))
 	run("capacity", saveTable("capacity", func() (*demsort.Table, error) { return demsort.CapacityTable(), nil }))
 	run("skew", saveTable("skew", func() (*demsort.Table, error) { return demsort.BaselineSkewTable(s) }))

@@ -26,7 +26,6 @@ import (
 	"time"
 
 	"demsort/internal/cluster/tcp"
-	"demsort/internal/elem"
 	"demsort/internal/sortbench"
 )
 
@@ -47,6 +46,7 @@ type launchParams struct {
 	block     int
 	seed      uint64
 	randomize bool
+	striped   bool
 	infile    string
 	outdir    string
 	store     string
@@ -65,6 +65,9 @@ func (lp launchParams) workerArgs(rank int, peers []string) []string {
 		"-seed", fmt.Sprint(lp.seed),
 		fmt.Sprintf("-randomize=%v", lp.randomize),
 		"-store", lp.store,
+	}
+	if lp.striped {
+		args = append(args, "-striped")
 	}
 	if lp.workdir != "" {
 		args = append(args, "-workdir", lp.workdir)
@@ -302,19 +305,14 @@ func runLauncher(p int, lp launchParams, hostfilePath string, basePort int, sshC
 		return
 	}
 
-	// valsort over the partitions, in rank order.
+	// valsort over the partitions, in rank order, streaming (the
+	// combined output may not fit in the launcher's RAM).
 	var sums []sortbench.Summary
 	for rank := 0; rank < p; rank++ {
-		data, err := os.ReadFile(filepath.Join(lp.outdir, fmt.Sprintf("part-%03d", rank)))
-		fail(err)
-		recs := make([]elem.Rec100, len(data)/100)
-		for i := range recs {
-			copy(recs[i][:], data[i*100:])
-		}
-		sums = append(sums, sortbench.Validate(recs))
+		sums = append(sums, partSummary(lp.outdir, rank))
 	}
 	got := sortbench.Merge(sums)
-	verdictRecords(got, inputSummary(lp.infile, lp.seed, p, lp.nPer))
+	verdictRecords(got, inputSummary(lp, p))
 	fmt.Printf("wall total: %.3fs (%.2f MB/s across %d processes)\n",
 		wall, float64(got.Records)*100/1e6/wall, p)
 }

@@ -17,12 +17,20 @@
 //     one worker of a (possibly multi-host) machine.
 //
 // The tcp transport (and sim with -records) sorts SortBenchmark-style
-// 100-byte records: generated in-process gensort-equivalently from
-// -seed, or read from a gensort file via -infile. Sorted partitions
-// are written to -outdir as raw records (valsort-compatible),
-// streamed block-at-a-time from each worker's store. With -store=file
-// the blocks themselves live on disk under -workdir, so the data
-// never has to fit in RAM.
+// 100-byte records: streamed in-process gensort-equivalently from
+// -seed, or from a gensort file via -infile — either way the input
+// tile goes block-at-a-time straight onto the rank's block store
+// (core.Config.Source), never through an in-RAM slice. Sorted
+// partitions are written to -outdir as raw records
+// (valsort-compatible), streamed block-at-a-time from each worker's
+// store (Config.Sink) into part-%03d.tmp and renamed on success, so
+// outdir never holds a truncated part. With -store=file the blocks
+// themselves live on disk under -workdir, so the data never has to
+// fit in RAM: end-to-end memory is O(m) per worker. -striped runs the
+// globally striped algorithm (Section III) on every one of these
+// scenarios, including multi-process tcp fleets: its part files are
+// the canonical block-range shares of the striped output, so they
+// concatenate to the sorted sequence just like the canonical sorter's.
 //
 // Usage:
 //
@@ -48,6 +56,7 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"path/filepath"
 	"strconv"
@@ -59,6 +68,7 @@ import (
 	"demsort/internal/cluster/tcp"
 	"demsort/internal/elem"
 	"demsort/internal/sortbench"
+	"demsort/internal/vtime"
 	"demsort/internal/workload"
 )
 
@@ -85,9 +95,6 @@ func main() {
 	peers := flag.String("peers", "", "comma-separated host:port listen addresses, one per rank (tcp)")
 	flag.Parse()
 
-	if *striped && (*records || *infile != "" || *transport == "tcp") {
-		fail(fmt.Errorf("demsort: -striped currently supports only the simulated KV16 workload (its output collection is in-process)"))
-	}
 	if *store != "ram" && *store != "file" {
 		fail(fmt.Errorf("demsort: unknown store %q (want ram or file)", *store))
 	}
@@ -97,6 +104,7 @@ func main() {
 		block:     *block,
 		seed:      *seed,
 		randomize: *randomize,
+		striped:   *striped,
 		infile:    *infile,
 		outdir:    *outdir,
 		store:     *store,
@@ -144,48 +152,95 @@ func newStoreFactory(lp launchParams) func(rank int) (blockio.Store, error) {
 // Record workloads (gensort-equivalent).
 // ---------------------------------------------------------------------
 
-// loadRecords returns PE rank's n records: the [rank·n, (rank+1)·n)
-// tile of the gensort file when given, else generated in-process with
-// the same generator the gensort command uses.
-func loadRecords(infile string, seed uint64, rank int, n int64) []elem.Rec100 {
-	if infile == "" {
-		return sortbench.Generate(seed, int64(rank)*n, n)
+// source returns the per-rank streaming input (core.Config.Source):
+// a section of the gensort file when given, else an in-process
+// generator producing the same tile the gensort command would — either
+// way the tile is never materialized in RAM. The gensort file stays
+// open for the life of the process (its SectionReaders are consumed
+// inside the load phase).
+func (lp launchParams) source() func(rank int) (io.Reader, int64, error) {
+	if lp.infile == "" {
+		return func(rank int) (io.Reader, int64, error) {
+			return sortbench.NewReader(lp.seed, int64(rank)*lp.nPer, lp.nPer), lp.nPer, nil
+		}
 	}
-	f, err := os.Open(infile)
-	fail(err)
-	defer f.Close()
-	buf := make([]byte, n*100)
-	if _, err := f.ReadAt(buf, int64(rank)*n*100); err != nil {
-		fail(fmt.Errorf("demsort: reading %d records at offset %d from %s: %w", n, int64(rank)*n*100, infile, err))
+	var f *os.File
+	return func(rank int) (io.Reader, int64, error) {
+		if f == nil {
+			var err error
+			if f, err = os.Open(lp.infile); err != nil {
+				return nil, 0, err
+			}
+		}
+		return io.NewSectionReader(f, int64(rank)*lp.nPer*100, lp.nPer*100), lp.nPer, nil
 	}
-	recs := make([]elem.Rec100, n)
-	for i := range recs {
-		copy(recs[i][:], buf[i*100:])
-	}
-	return recs
 }
 
-// inputSummary digests the whole input tile by tile (only Records and
-// Checksum matter for the permutation check — the input is unsorted by
-// nature, so no cross-tile order folding is needed or wanted).
-func inputSummary(infile string, seed uint64, p int, nPer int64) sortbench.Summary {
+// inputSummary digests the whole input tile by tile, streaming (only
+// Records and Checksum matter for the permutation check — the input is
+// unsorted by nature, so no cross-tile order folding is needed or
+// wanted).
+func inputSummary(lp launchParams, p int) sortbench.Summary {
+	src := lp.source()
 	var s sortbench.Summary
 	for rank := 0; rank < p; rank++ {
-		tile := sortbench.Validate(loadRecords(infile, seed, rank, nPer))
+		r, _, err := src(rank)
+		fail(err)
+		tile, err := sortbench.SummarizeReader(r)
+		fail(err)
 		s.Records += tile.Records
 		s.Checksum += tile.Checksum
 	}
 	return s
 }
 
-func writePart(outdir string, rank int, recs []elem.Rec100) string {
-	path := filepath.Join(outdir, fmt.Sprintf("part-%03d", rank))
-	buf := make([]byte, 0, len(recs)*100)
-	for i := range recs {
-		buf = append(buf, recs[i][:]...)
+// partFile streams one rank's sorted partition to outdir/part-%03d.
+// It writes to part-%03d.tmp and renames on Close, so an aborted or
+// reaped worker never leaves a truncated part file behind — outdir
+// only ever contains complete partitions.
+type partFile struct {
+	f    *os.File
+	w    *bufio.Writer
+	path string
+}
+
+func newPartFile(outdir string, rank int) (*partFile, error) {
+	if err := os.MkdirAll(outdir, 0o755); err != nil {
+		return nil, err
 	}
-	fail(os.WriteFile(path, buf, 0o644))
-	return path
+	path := filepath.Join(outdir, fmt.Sprintf("part-%03d", rank))
+	f, err := os.Create(path + ".tmp")
+	if err != nil {
+		return nil, err
+	}
+	return &partFile{f: f, w: bufio.NewWriterSize(f, 1<<20), path: path}, nil
+}
+
+func (p *partFile) Write(b []byte) error {
+	_, err := p.w.Write(b)
+	return err
+}
+
+// Close flushes and atomically publishes the part file.
+func (p *partFile) Close() error {
+	if err := p.w.Flush(); err != nil {
+		return err
+	}
+	if err := p.f.Close(); err != nil {
+		return err
+	}
+	return os.Rename(p.path+".tmp", p.path)
+}
+
+// partSummary re-reads a published part file and valsorts it, O(1)
+// memory.
+func partSummary(outdir string, rank int) sortbench.Summary {
+	f, err := os.Open(filepath.Join(outdir, fmt.Sprintf("part-%03d", rank)))
+	fail(err)
+	defer f.Close()
+	s, err := sortbench.SummarizeReader(bufio.NewReaderSize(f, 1<<20))
+	fail(err)
+	return s
 }
 
 func recordOptions(p int, mem int64, block int, seed uint64, randomize bool) demsort.Options {
@@ -193,40 +248,109 @@ func recordOptions(p int, mem int64, block int, seed uint64, randomize bool) dem
 	opts.Model = demsort.ScaledModel(block)
 	opts.Randomize = randomize
 	opts.Seed = seed
-	opts.KeepOutput = true
 	return opts
+}
+
+func stripedRecordOptions(p int, mem int64, block int, seed uint64, randomize bool) demsort.StripedOptions {
+	opts := demsort.NewStripedOptions(p, mem, block)
+	opts.Model = demsort.ScaledModel(block)
+	opts.Randomize = randomize
+	opts.Seed = seed
+	return opts
+}
+
+// recordSinks builds the per-rank output sinks of an in-process run:
+// each rank's sorted stream is valsorted incrementally and — when
+// outdir is set — written to its part file. Distinct ranks stream
+// concurrently on the sim backend; each writes only its own slot.
+type recordSinks struct {
+	accums []sortbench.Accum
+	parts  []*partFile
+}
+
+func newRecordSinks(p int, outdir string) *recordSinks {
+	s := &recordSinks{accums: make([]sortbench.Accum, p)}
+	if outdir != "" {
+		s.parts = make([]*partFile, p)
+		for rank := 0; rank < p; rank++ {
+			pf, err := newPartFile(outdir, rank)
+			fail(err)
+			s.parts[rank] = pf
+		}
+	}
+	return s
+}
+
+func (s *recordSinks) sink(rank int, b []byte) error {
+	s.accums[rank].Add(b)
+	if s.parts != nil {
+		return s.parts[rank].Write(b)
+	}
+	return nil
+}
+
+// finish publishes the part files and returns the merged valsort
+// summary of the partitions in rank order.
+func (s *recordSinks) finish() sortbench.Summary {
+	var sums []sortbench.Summary
+	for rank := range s.accums {
+		sums = append(sums, s.accums[rank].Summary())
+		if s.parts != nil {
+			fail(s.parts[rank].Close())
+		}
+	}
+	return sortbench.Merge(sums)
+}
+
+// phaseStats is the per-phase reporting surface both Result types
+// share (the sim record runs print either through it).
+type phaseStats interface {
+	MaxWall(phase string) float64
+	PhaseBytes(phase string) (read, written int64)
+	TotalWall() float64
+}
+
+func printPhases(res phaseStats, phaseNames []string, nBytes int64) {
+	for _, ph := range phaseNames {
+		read, written := res.PhaseBytes(ph)
+		fmt.Printf("  %-20s %10.4fs   io %s\n", ph, res.MaxWall(ph), fmtIO(read, written, nBytes))
+	}
 }
 
 // runRecordsSim sorts gensort records on the simulated machine —
 // the reference run the tcp backend's output must match bit for bit.
+// Input arrives through the streaming Source and output leaves through
+// the per-rank Sinks, so no tile or partition is ever resident in RAM.
 func runRecordsSim(p int, lp launchParams) {
-	nPer, seed, outdir, infile := lp.nPer, lp.seed, lp.outdir, lp.infile
-	input := make([][]elem.Rec100, p)
-	for rank := 0; rank < p; rank++ {
-		input[rank] = loadRecords(infile, seed, rank, nPer)
+	sinks := newRecordSinks(p, lp.outdir)
+	var stats phaseStats
+	var phaseNames []string
+	var nBytes int64
+	if lp.striped {
+		opts := stripedRecordOptions(p, lp.mem, lp.block, lp.seed, lp.randomize)
+		opts.NewStore = newStoreFactory(lp)
+		opts.Source = lp.source()
+		opts.Sink = sinks.sink
+		res, err := demsort.SortStriped[elem.Rec100](demsort.Rec100Codec{}, opts, nil)
+		fail(err)
+		fmt.Printf("globally striped mergesort[records]: P=%d N=%d (%d runs, %d merge batches)\n",
+			res.P, res.N, res.Runs, res.Batches)
+		stats, phaseNames, nBytes = res, res.PhaseNames, res.N*100
+	} else {
+		opts := recordOptions(p, lp.mem, lp.block, lp.seed, lp.randomize)
+		opts.NewStore = newStoreFactory(lp)
+		opts.Source = lp.source()
+		opts.Sink = sinks.sink
+		res, err := demsort.Sort[elem.Rec100](demsort.Rec100Codec{}, opts, nil)
+		fail(err)
+		fmt.Printf("CanonicalMergeSort[records]: P=%d N=%d (R=%d runs, k=%d sub-operations)\n",
+			res.P, res.N, res.Runs, res.SubOps)
+		stats, phaseNames, nBytes = res, res.PhaseNames, res.N*100
 	}
-	opts := recordOptions(p, lp.mem, lp.block, seed, lp.randomize)
-	opts.NewStore = newStoreFactory(lp)
-	res, err := demsort.Sort[elem.Rec100](demsort.Rec100Codec{}, opts, input)
-	fail(err)
-	nBytes := res.N * 100
-	fmt.Printf("CanonicalMergeSort[records]: P=%d N=%d (R=%d runs, k=%d sub-operations)\n",
-		res.P, res.N, res.Runs, res.SubOps)
-	for _, ph := range res.PhaseNames {
-		read, written := res.PhaseBytes(ph)
-		fmt.Printf("  %-20s %10.4fs   io %s\n", ph, res.MaxWall(ph), fmtIO(read, written, nBytes))
-	}
-	var sums []sortbench.Summary
-	for rank := 0; rank < p; rank++ {
-		sums = append(sums, sortbench.Validate(res.Output[rank]))
-		if outdir != "" {
-			fail(os.MkdirAll(outdir, 0o755))
-			writePart(outdir, rank, res.Output[rank])
-		}
-	}
-	verdictRecords(sortbench.Merge(sums), inputSummary(infile, seed, p, nPer))
+	printPhases(stats, phaseNames, nBytes)
+	verdictRecords(sinks.finish(), inputSummary(lp, p))
 	fmt.Printf("modelled total: %.4fs (%.2f MB/s equivalent)\n",
-		res.TotalWall(), float64(nBytes)/1e6/res.TotalWall())
+		stats.TotalWall(), float64(nBytes)/1e6/stats.TotalWall())
 }
 
 // ---------------------------------------------------------------------
@@ -266,42 +390,55 @@ func runTCPWorker(rank int, peers []string, lp launchParams) {
 		os.Exit(11)
 	}
 
-	opts := recordOptions(p, lp.mem, lp.block, lp.seed, lp.randomize)
-	opts.Machine = m
-	opts.KeepOutput = false
-	input := make([][]elem.Rec100, p)
-	input[rank] = loadRecords(lp.infile, lp.seed, rank, lp.nPer)
-
-	// Stream the sorted partition straight from the block store to the
-	// part file: the output never has to fit in this process's RAM,
-	// which is the point of -store=file.
-	var partW *bufio.Writer
-	var partF *os.File
+	// The input streams in via Source (gensort file section or
+	// in-process generator) and the sorted partition streams out via
+	// Sink to part-%03d.tmp, renamed on success: neither the tile nor
+	// the output ever has to fit in this process's RAM, and outdir
+	// never holds a truncated part.
+	var part *partFile
+	var sink func(rank int, b []byte) error
 	if lp.outdir != "" {
-		fail(os.MkdirAll(lp.outdir, 0o755))
-		partF, err = os.Create(filepath.Join(lp.outdir, fmt.Sprintf("part-%03d", rank)))
+		part, err = newPartFile(lp.outdir, rank)
 		fail(err)
-		partW = bufio.NewWriterSize(partF, 1<<20)
-		opts.Sink = func(_ int, b []byte) error {
-			_, err := partW.Write(b)
-			return err
-		}
+		sink = func(_ int, b []byte) error { return part.Write(b) }
 	}
 
 	start := time.Now()
-	res, err := demsort.Sort[elem.Rec100](demsort.Rec100Codec{}, opts, input)
-	fail(err)
-	if partW != nil {
-		fail(partW.Flush())
-		fail(partF.Close())
+	var phaseNames []string
+	var perPE map[string]*vtime.PhaseStats
+	var outLen int64
+	if lp.striped {
+		opts := stripedRecordOptions(p, lp.mem, lp.block, lp.seed, lp.randomize)
+		opts.Machine = m
+		opts.Source = lp.source()
+		opts.Sink = sink
+		res, err := demsort.SortStriped[elem.Rec100](demsort.Rec100Codec{}, opts, nil)
+		fail(err)
+		phaseNames, perPE = res.PhaseNames, res.PerPE[rank]
+		outLen = res.OutputLens[rank] // the rank's block-range share of the output
+		if sink == nil {
+			outLen = res.N // no collect ran; report the fleet total
+		}
+	} else {
+		opts := recordOptions(p, lp.mem, lp.block, lp.seed, lp.randomize)
+		opts.Machine = m
+		opts.Source = lp.source()
+		opts.Sink = sink
+		res, err := demsort.Sort[elem.Rec100](demsort.Rec100Codec{}, opts, nil)
+		fail(err)
+		phaseNames, perPE = res.PhaseNames, res.PerPE[rank]
+		outLen = res.OutputLens[rank]
+	}
+	if part != nil {
+		fail(part.Close())
 	}
 
 	var phases []string
-	for _, ph := range res.PhaseNames {
-		phases = append(phases, fmt.Sprintf("%s %.3fs", ph, res.PerPE[rank][ph].Wall))
+	for _, ph := range phaseNames {
+		phases = append(phases, fmt.Sprintf("%s %.3fs", ph, perPE[ph].Wall))
 	}
 	fmt.Printf("rank %d: %d records in %.3fs (%s)\n",
-		rank, res.OutputLens[rank], time.Since(start).Seconds(), strings.Join(phases, " | "))
+		rank, outLen, time.Since(start).Seconds(), strings.Join(phases, " | "))
 }
 
 // ---------------------------------------------------------------------

@@ -399,6 +399,34 @@ func AblationSampleK(s FigureScale) (*Figure, error) {
 	return f, nil
 }
 
+// StripedPhases regenerates the per-phase timings of the globally
+// striped mergesort (the Section III counterpart of Figure 2) on a
+// reduced P sweep. It exists primarily for BENCH.json: archiving the
+// striped phase walls per PR lets benchdiff flag striped regressions
+// alongside the canonical ones.
+func StripedPhases(s FigureScale) (*Figure, error) {
+	f := &Figure{Title: "Striped mergesort (Sec. III): running times per phase", XLabel: "P", YLabel: "modelled time [s]"}
+	// Smaller input than the canonical scaling figures: the striped
+	// algorithm additionally holds the full prediction table in every
+	// PE's memory (footnote 12), like AblationStripedVsCanonical.
+	perPE := 16384
+	for _, p := range []int{1, 4, 16} {
+		opts := NewStripedOptions(p, s.MemElems, s.BlockBytes)
+		opts.Model = scaledModel(s.BlockBytes)
+		opts.Seed = s.Seed
+		input := workload.Generate(workload.Uniform, p, perPE, s.Seed)
+		res, err := SortStriped[KV16](KV16Codec{}, opts, input)
+		if err != nil {
+			return nil, fmt.Errorf("striped phases P=%d: %w", p, err)
+		}
+		for _, ph := range res.PhaseNames {
+			f.Add(ph, float64(p), res.MaxWall(ph))
+		}
+		f.Add("total", float64(p), res.TotalWall())
+	}
+	return f, nil
+}
+
 // AblationStripedVsCanonical compares the two algorithms of the paper
 // head to head (Sections III vs IV): I/O volume, communication volume
 // and modelled time on the same machine and inputs.

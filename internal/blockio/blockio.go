@@ -290,3 +290,44 @@ func (v *Volume) Drain() { v.clock.AdvanceTo(v.disk.BusyUntil()) }
 // Store exposes the underlying store (used when relabelling blocks
 // between logical files without I/O).
 func (v *Volume) Store() Store { return v.store }
+
+// Span is one block filled by FillFrom: block ID holds Bytes bytes.
+type Span struct {
+	ID    BlockID
+	Bytes int
+}
+
+// FillFrom streams totalBytes from r onto the volume, chunkBytes at a
+// time (the last span may be shorter), through a single pooled staging
+// buffer — the O(B)-memory way to load an input that does not fit in
+// RAM. chunkBytes is the caller's element-aligned block payload (it
+// may be less than BlockBytes when the element size does not divide
+// the block size). Spans are returned in stream order; on a short or
+// failed read the blocks already written are returned alongside the
+// error so the caller can free them.
+func (v *Volume) FillFrom(r io.Reader, totalBytes int64, chunkBytes int) ([]Span, error) {
+	if chunkBytes <= 0 || chunkBytes > v.blockBytes {
+		return nil, fmt.Errorf("blockio: FillFrom chunk %d outside (0, %d]", chunkBytes, v.blockBytes)
+	}
+	var spans []Span
+	if totalBytes <= 0 {
+		return spans, nil
+	}
+	buf := bufpool.Get(chunkBytes)
+	defer bufpool.Put(buf)
+	for rem := totalBytes; rem > 0; {
+		take := chunkBytes
+		if int64(take) > rem {
+			take = int(rem)
+		}
+		b := buf[:take]
+		if _, err := io.ReadFull(r, b); err != nil {
+			return spans, fmt.Errorf("blockio: source read at byte %d of %d: %w", totalBytes-rem, totalBytes, err)
+		}
+		id := v.Alloc()
+		v.WriteAsync(id, b)
+		spans = append(spans, Span{ID: id, Bytes: take})
+		rem -= int64(take)
+	}
+	return spans, nil
+}

@@ -199,3 +199,45 @@ func TestFileStoreFactoryPerRankSpill(t *testing.T) {
 		t.Fatalf("Close must remove the block files; %d left", len(files))
 	}
 }
+
+// FillFrom must lay the stream out as chunk-sized blocks (short tail),
+// read back byte-identical, and surface short streams as errors while
+// still returning the spans already written so they can be freed.
+func TestVolumeFillFrom(t *testing.T) {
+	clock := vtime.NewClock()
+	vol := NewVolume(NewMemStore(), 256, 0, vtime.Default(), clock)
+	data := make([]byte, 1000) // chunk 240 -> 4 full spans + one 40-byte tail
+	for i := range data {
+		data[i] = byte(i * 31)
+	}
+	spans, err := vol.FillFrom(bytes.NewReader(data), int64(len(data)), 240)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(spans) != 5 || spans[4].Bytes != 40 {
+		t.Fatalf("spans %+v, want 4x240 + 40", spans)
+	}
+	var got []byte
+	buf := make([]byte, 240)
+	for _, sp := range spans {
+		vol.ReadWait(sp.ID, buf[:sp.Bytes])
+		got = append(got, buf[:sp.Bytes]...)
+	}
+	if !bytes.Equal(got, data) {
+		t.Fatal("read-back differs from the streamed input")
+	}
+
+	// Short stream: error plus the spans written so far.
+	spans, err = vol.FillFrom(bytes.NewReader(data[:500]), int64(len(data)), 240)
+	if err == nil {
+		t.Fatal("short stream must fail")
+	}
+	if len(spans) != 2 {
+		t.Fatalf("short stream returned %d spans, want the 2 complete ones", len(spans))
+	}
+
+	// Oversized chunk is rejected up front.
+	if _, err := vol.FillFrom(bytes.NewReader(data), 10, 4096); err == nil {
+		t.Fatal("chunk larger than the block size must be rejected")
+	}
+}

@@ -22,6 +22,7 @@ package core
 
 import (
 	"fmt"
+	"io"
 
 	"demsort/internal/blockio"
 	"demsort/internal/cluster"
@@ -84,6 +85,19 @@ type Config struct {
 	// KeepOutput retains the sorted output so Result.Output can read
 	// it back (tests); production callers stream it from the volumes.
 	KeepOutput bool
+	// Source, when non-nil, streams each locally hosted rank's input as
+	// encoded element bytes — the streaming dual of Sink, and the
+	// scalable alternative to the input slices. It returns the rank's
+	// byte stream and its element count; the load phase reads it
+	// block-at-a-time straight onto the rank's volume through one
+	// pooled staging buffer, so loading never holds more than one block
+	// of the tile in RAM (demsort's -infile path). With Source set the
+	// input argument of Sort must be nil. Reader lifecycle belongs to
+	// the caller (Sort consumes exactly count·elemSize bytes and does
+	// not Close). With a remote backend Source is only called for the
+	// locally hosted ranks, and every process must report the same
+	// per-rank counts.
+	Source func(rank int) (io.Reader, int64, error)
 	// Sink, when non-nil, streams each locally hosted rank's sorted
 	// output as encoded element bytes — in order, block-at-a-time,
 	// straight off the rank's block store — during the collect step.

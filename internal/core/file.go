@@ -1,6 +1,8 @@
 package core
 
 import (
+	"io"
+
 	"demsort/internal/blockio"
 	"demsort/internal/bufpool"
 	"demsort/internal/elem"
@@ -295,19 +297,21 @@ func streamRaw[T any](c elem.Codec[T], vol *blockio.Volume, f File, fn func([]by
 	return nil
 }
 
-// readAll decodes a whole file into memory (tests and small metadata).
-func readAll[T any](c elem.Codec[T], vol *blockio.Volume, f File) []T {
-	out := make([]T, 0, f.N)
-	raw := bufpool.Get(vol.BlockBytes())
-	for _, e := range f.Extents {
-		need := (e.Off + e.Len) * c.Size()
-		if cap(raw) < need {
-			bufpool.Put(raw)
-			raw = bufpool.Get(need)
-		}
-		vol.ReadWait(e.ID, raw[:need])
-		out = elem.AppendDecode(c, out, raw[e.Off*c.Size():need], e.Len)
+// loadStream fills a block-aligned File straight from an encoded byte
+// stream via blockio.FillFrom: no decode, no element slice — the load
+// phase's entire footprint is FillFrom's one staging buffer, which is
+// what keeps an -infile run at O(m) end-to-end memory. The caller
+// charges the staging block to the memory budget around the call.
+func loadStream[T any](c elem.Codec[T], vol *blockio.Volume, r io.Reader, n int64) (File, error) {
+	bElem := vol.BlockBytes() / c.Size()
+	spans, err := vol.FillFrom(r, n*int64(c.Size()), bElem*c.Size())
+	var f File
+	for _, sp := range spans {
+		f.Append(Extent{ID: sp.ID, Off: 0, Len: sp.Bytes / c.Size(), Own: true})
 	}
-	bufpool.Put(raw)
-	return out
+	if err != nil {
+		f.FreeOwned(vol)
+		return File{}, err
+	}
+	return f, nil
 }

@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"io"
 
 	"demsort/internal/cluster"
 	"demsort/internal/cluster/sim"
@@ -35,6 +36,11 @@ type Result[T any] struct {
 	// PeakMemElems and PeakDiskBlocks are per-PE high-water marks.
 	PeakMemElems   []int64
 	PeakDiskBlocks []int64
+	// LoadPeakMemElems[rank] is the budget high-water mark at the end
+	// of the load phase. A Source-fed load charges only its block-sized
+	// staging buffer, so this stays O(B) no matter how large the tile
+	// is (the membudget test pins it).
+	LoadPeakMemElems []int64
 	// EndMemElems[rank] is the memory budget still reserved when the
 	// sort finished — always zero unless a phase leaks reservations
 	// (tests assert this).
@@ -107,6 +113,42 @@ func releaseSamples[T any](n *cluster.Node, meta *runsMeta[T], locals []localRun
 	n.Mem.Release(sampleElems)
 }
 
+// OpenSources opens the streaming input of every locally hosted rank
+// up front (all P ranks when machine is nil, i.e. before a sim machine
+// exists), so the per-rank element counts can drive the same
+// sample/capacity sizing the slice lengths do; the readers themselves
+// are only consumed inside the load phase. Shared by the canonical and
+// striped sorters — the single place the Source contract is enforced.
+func OpenSources(source func(rank int) (io.Reader, int64, error), machine cluster.Machine, p int) (map[int]io.Reader, map[int]int64, error) {
+	readers := make(map[int]io.Reader)
+	counts := make(map[int]int64)
+	if source == nil {
+		return readers, counts, nil
+	}
+	localRanks := make([]int, 0, p)
+	if machine != nil {
+		for _, node := range machine.Nodes() {
+			localRanks = append(localRanks, node.Rank)
+		}
+	} else {
+		for rank := 0; rank < p; rank++ {
+			localRanks = append(localRanks, rank)
+		}
+	}
+	for _, rank := range localRanks {
+		r, cnt, err := source(rank)
+		if err != nil {
+			return nil, nil, fmt.Errorf("input source, rank %d: %w", rank, err)
+		}
+		if cnt < 0 {
+			return nil, nil, fmt.Errorf("input source, rank %d: negative count %d", rank, cnt)
+		}
+		readers[rank] = r
+		counts[rank] = cnt
+	}
+	return readers, counts, nil
+}
+
 // Sort runs CANONICALMERGESORT on the simulated cluster: input[i] is
 // loaded onto PE i's local disks, and afterwards PE i holds the
 // elements of global ranks (i·N/P, (i+1)·N/P] sorted on its local
@@ -116,8 +158,11 @@ func Sort[T any](c elem.Codec[T], cfg Config, input [][]T) (*Result[T], error) {
 	if err != nil {
 		return nil, err
 	}
-	if len(input) != cfg.P {
+	if cfg.Source == nil && len(input) != cfg.P {
 		return nil, fmt.Errorf("core: input has %d PE slices, machine has %d PEs", len(input), cfg.P)
+	}
+	if cfg.Source != nil && input != nil {
+		return nil, fmt.Errorf("core: Source and input slices are mutually exclusive")
 	}
 	if cfg.RealWorkers <= 0 {
 		cfg.RealWorkers = 1
@@ -125,10 +170,19 @@ func Sort[T any](c elem.Codec[T], cfg Config, input [][]T) (*Result[T], error) {
 	if cfg.Model == (vtime.CostModel{}) {
 		cfg.Model = vtime.Default()
 	}
+	sources, sourceN, err := OpenSources(cfg.Source, cfg.Machine, cfg.P)
+	if err != nil {
+		return nil, fmt.Errorf("core: %w", err)
+	}
 	var nPerPE int64
 	for _, part := range input {
 		if int64(len(part)) > nPerPE {
 			nPerPE = int64(len(part))
+		}
+	}
+	for _, cnt := range sourceN {
+		if cnt > nPerPE {
+			nPerPE = cnt
 		}
 	}
 	if cfg.SampleK == 0 && cfg.MemElems > 0 {
@@ -186,18 +240,33 @@ func Sort[T any](c elem.Codec[T], cfg Config, input [][]T) (*Result[T], error) {
 	res.PeakMemElems = make([]int64, cfg.P)
 	res.PeakDiskBlocks = make([]int64, cfg.P)
 	res.EndMemElems = make([]int64, cfg.P)
+	res.LoadPeakMemElems = make([]int64, cfg.P)
 	runsSeen := make([]int, cfg.P)
 	subOps := make([]int, cfg.P)
 	totalN := make([]int64, cfg.P)
 
 	err = m.Run(func(n *cluster.Node) error {
 		// Load the input onto the local disks (outside the measured
-		// sort: the paper's inputs pre-exist on disk).
+		// sort: the paper's inputs pre-exist on disk). A Source streams
+		// the encoded tile block-at-a-time straight onto the volume —
+		// the only load-phase memory is the staging block it charges.
 		n.SetPhase(PhaseLoad)
-		lw := newWriter(c, n.Vol)
-		lw.addSlice(input[n.Rank])
-		in := lw.finish()
+		var in File
+		if cfg.Source != nil {
+			n.Mem.MustAcquire(int64(d.bElem))
+			var err error
+			in, err = loadStream(c, n.Vol, sources[n.Rank], sourceN[n.Rank])
+			n.Mem.Release(int64(d.bElem))
+			if err != nil {
+				return fmt.Errorf("core: input source, rank %d: %w", n.Rank, err)
+			}
+		} else {
+			lw := newWriter(c, n.Vol)
+			lw.addSlice(input[n.Rank])
+			in = lw.finish()
+		}
 		n.Vol.Drain()
+		res.LoadPeakMemElems[n.Rank] = n.Mem.Peak()
 		n.Barrier()
 		n.Vol.ResetPeak()
 
@@ -229,15 +298,28 @@ func Sort[T any](c elem.Codec[T], cfg Config, input [][]T) (*Result[T], error) {
 		n.SetPhase("collect")
 		totalN[n.Rank] = n.AllReduceInt64(out.N, "sum")
 		res.OutputLens[n.Rank] = out.N
-		if cfg.KeepOutput {
-			res.Output[n.Rank] = readAll(c, n.Vol, out)
-		}
-		if cfg.Sink != nil {
+		if cfg.KeepOutput || cfg.Sink != nil {
+			// One pass over the store feeds both consumers: the Sink
+			// gets each encoded extent, KeepOutput decodes the same
+			// buffer — the output is never read twice.
+			var kept []T
+			if cfg.KeepOutput {
+				kept = make([]T, 0, out.N)
+			}
 			err := streamRaw(c, n.Vol, out, func(b []byte) error {
-				return cfg.Sink(n.Rank, b)
+				if cfg.KeepOutput {
+					kept = elem.AppendDecode(c, kept, b, len(b)/c.Size())
+				}
+				if cfg.Sink != nil {
+					return cfg.Sink(n.Rank, b)
+				}
+				return nil
 			})
 			if err != nil {
 				return fmt.Errorf("core: output sink, rank %d: %w", n.Rank, err)
+			}
+			if cfg.KeepOutput {
+				res.Output[n.Rank] = kept
 			}
 		}
 		res.PeakMemElems[n.Rank] = n.Mem.Peak()

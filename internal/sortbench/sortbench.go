@@ -9,6 +9,7 @@ package sortbench
 import (
 	"bytes"
 	"fmt"
+	"io"
 	"math/rand/v2"
 
 	"demsort/internal/elem"
@@ -59,6 +60,46 @@ func Skewed(seed uint64, start, n int64, hotIn10 int) []elem.Rec100 {
 	return out
 }
 
+// Reader streams the records of Generate(seed, start, n) as raw bytes
+// without ever materializing the tile — the generator-backed
+// core.Config.Source. Records are produced in small batches into an
+// internal buffer, so memory stays O(1) regardless of n.
+type Reader struct {
+	seed    uint64
+	next    int64 // next record index to generate
+	end     int64
+	pending []byte
+	buf     [100 * 64]byte
+}
+
+// NewReader returns a Reader over records [start, start+n) of seed's
+// sequence.
+func NewReader(seed uint64, start, n int64) *Reader {
+	return &Reader{seed: seed, next: start, end: start + n}
+}
+
+// Read implements io.Reader.
+func (r *Reader) Read(p []byte) (int, error) {
+	if len(r.pending) == 0 {
+		if r.next == r.end {
+			return 0, io.EOF
+		}
+		batch := int64(len(r.buf) / 100)
+		if rem := r.end - r.next; rem < batch {
+			batch = rem
+		}
+		for i := int64(0); i < batch; i++ {
+			rec := Record(r.seed, r.next+i)
+			copy(r.buf[i*100:], rec[:])
+		}
+		r.next += batch
+		r.pending = r.buf[:batch*100]
+	}
+	n := copy(p, r.pending)
+	r.pending = r.pending[n:]
+	return n, nil
+}
+
 // Summary is valsort's digest of one record stream.
 type Summary struct {
 	Records   int64
@@ -73,24 +114,77 @@ type Summary struct {
 // Unsorted == 0, and matching Checksum/Records against the generator's
 // Summary proves the output is a permutation of the input.
 func Validate(recs []elem.Rec100) Summary {
-	var s Summary
-	s.Records = int64(len(recs))
+	var a Accum
 	for i := range recs {
-		s.Checksum += hashRec(&recs[i])
-		if i > 0 {
-			switch bytes.Compare(recs[i-1][:10], recs[i][:10]) {
-			case 1:
-				s.Unsorted++
-			case 0:
-				s.Duplicate++
-			}
-		}
+		a.AddRecord(&recs[i])
 	}
-	if len(recs) > 0 {
-		s.FirstKey = append([]byte(nil), recs[0][:10]...)
-		s.LastKey = append([]byte(nil), recs[len(recs)-1][:10]...)
+	return a.Summary()
+}
+
+// Accum builds a Summary incrementally from record-aligned raw chunks
+// — the streaming valsort that Sink callbacks and part-file readers
+// feed without ever materializing a partition.
+type Accum struct {
+	sum  Summary
+	prev elem.Rec100
+	has  bool
+}
+
+// AddRecord folds one record into the digest.
+func (a *Accum) AddRecord(rec *elem.Rec100) {
+	a.sum.Records++
+	a.sum.Checksum += hashRec(rec)
+	if a.has {
+		switch bytes.Compare(a.prev[:10], rec[:10]) {
+		case 1:
+			a.sum.Unsorted++
+		case 0:
+			a.sum.Duplicate++
+		}
+	} else {
+		a.sum.FirstKey = append([]byte(nil), rec[:10]...)
+	}
+	a.prev = *rec
+	a.has = true
+}
+
+// Add folds a chunk of raw records; len(raw) must be a multiple of 100
+// (Sink chunks are element-aligned by construction).
+func (a *Accum) Add(raw []byte) {
+	var rec elem.Rec100
+	for off := 0; off+100 <= len(raw); off += 100 {
+		copy(rec[:], raw[off:])
+		a.AddRecord(&rec)
+	}
+}
+
+// Summary returns the digest folded so far.
+func (a *Accum) Summary() Summary {
+	s := a.sum
+	if a.has {
+		s.LastKey = append([]byte(nil), a.prev[:10]...)
 	}
 	return s
+}
+
+// SummarizeReader digests a raw record byte stream to EOF — the
+// O(1)-memory way to valsort a part file or an input tile.
+func SummarizeReader(r io.Reader) (Summary, error) {
+	var a Accum
+	buf := make([]byte, 100*512)
+	for {
+		n, err := io.ReadFull(r, buf)
+		if n%100 != 0 {
+			return a.Summary(), fmt.Errorf("sortbench: stream not record-aligned (%d trailing bytes)", n%100)
+		}
+		a.Add(buf[:n])
+		if err == io.EOF || err == io.ErrUnexpectedEOF {
+			return a.Summary(), nil
+		}
+		if err != nil {
+			return a.Summary(), err
+		}
+	}
 }
 
 // Merge combines per-partition summaries in partition order, adding

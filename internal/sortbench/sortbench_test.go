@@ -2,6 +2,7 @@ package sortbench
 
 import (
 	"bytes"
+	"io"
 	"slices"
 	"testing"
 
@@ -118,5 +119,73 @@ func TestSkewedSharesHotPrefix(t *testing.T) {
 	}
 	if hot < 800 || hot == len(recs) {
 		t.Fatalf("hot fraction %d/1000, want ~900", hot)
+	}
+}
+
+// The streaming generator must produce exactly the bytes of the
+// materialized tile, at awkward read sizes and tile offsets.
+func TestReaderMatchesGenerate(t *testing.T) {
+	const start, n = 3210, 999
+	want := Generate(17, start, n)
+	var wantBytes []byte
+	for i := range want {
+		wantBytes = append(wantBytes, want[i][:]...)
+	}
+	r := NewReader(17, start, n)
+	got := make([]byte, 0, len(wantBytes))
+	buf := make([]byte, 777) // deliberately not record-aligned
+	for {
+		k, err := r.Read(buf)
+		got = append(got, buf[:k]...)
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	if !bytes.Equal(got, wantBytes) {
+		t.Fatalf("streamed %d bytes differ from Generate's %d", len(got), len(wantBytes))
+	}
+}
+
+// The incremental valsort (Accum fed record-aligned chunks, and
+// SummarizeReader over a raw stream) must agree with the slice-based
+// Validate on every field.
+func TestAccumAndSummarizeReaderMatchValidate(t *testing.T) {
+	recs := Generate(23, 0, 500)
+	psort.Sort[elem.Rec100](elem.Rec100Codec{}, recs[:250], 1) // half sorted, half not
+	want := Validate(recs)
+
+	var raw []byte
+	for i := range recs {
+		raw = append(raw, recs[i][:]...)
+	}
+	var a Accum
+	for off := 0; off < len(raw); off += 300 { // 3-record chunks
+		hi := off + 300
+		if hi > len(raw) {
+			hi = len(raw)
+		}
+		a.Add(raw[off:hi])
+	}
+	check := func(name string, got Summary) {
+		t.Helper()
+		if got.Records != want.Records || got.Unsorted != want.Unsorted ||
+			got.Checksum != want.Checksum || got.Duplicate != want.Duplicate ||
+			!bytes.Equal(got.FirstKey, want.FirstKey) || !bytes.Equal(got.LastKey, want.LastKey) {
+			t.Fatalf("%s summary %+v != Validate %+v", name, got, want)
+		}
+	}
+	check("Accum", a.Summary())
+
+	got, err := SummarizeReader(bytes.NewReader(raw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	check("SummarizeReader", got)
+
+	if _, err := SummarizeReader(bytes.NewReader(raw[:150])); err == nil {
+		t.Fatal("non-record-aligned stream must be rejected")
 	}
 }

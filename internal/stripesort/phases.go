@@ -3,6 +3,7 @@ package stripesort
 import (
 	"encoding/binary"
 	"fmt"
+	"io"
 	"math/rand/v2"
 	"sort"
 
@@ -15,8 +16,12 @@ import (
 	"demsort/internal/xmerge"
 )
 
-// runPE executes the whole striped sort on one PE.
-func runPE[T any](c elem.Codec[T], n *cluster.Node, cfg *Config, bElem, bpr int, myInput []T) (*peState[T], error) {
+// runPE executes the whole striped sort on one PE. Input arrives
+// either as src (a stream of srcN encoded elements, loaded through one
+// staging block) or as the myInput slice; sink receives the rank's
+// contiguous share of the sorted output (nil = leave the striped
+// blocks on the volumes).
+func runPE[T any](c elem.Codec[T], n *cluster.Node, cfg *Config, bElem, bpr int, src io.Reader, srcN int64, myInput []T, sink func(rank int, b []byte) error) (*peState[T], error) {
 	sz := c.Size()
 	key, exact := elem.KeyFn(c)
 
@@ -27,19 +32,34 @@ func runPE[T any](c elem.Codec[T], n *cluster.Node, cfg *Config, bElem, bpr int,
 		len int
 	}
 	var inBlocks []inBlock
-	loadEnc := bufpool.Get(bElem * sz)
-	for off := 0; off < len(myInput); off += bElem {
-		hi := off + bElem
-		if hi > len(myInput) {
-			hi = len(myInput)
+	if src != nil {
+		n.Mem.MustAcquire(int64(bElem)) // FillFrom's staging block
+		spans, err := n.Vol.FillFrom(src, srcN*int64(sz), bElem*sz)
+		n.Mem.Release(int64(bElem))
+		if err != nil {
+			for _, sp := range spans {
+				n.Vol.Free(sp.ID)
+			}
+			return nil, fmt.Errorf("stripesort: input source, rank %d: %w", n.Rank, err)
 		}
-		id := n.Vol.Alloc()
-		eb := loadEnc[:(hi-off)*sz]
-		elem.EncodeInto(c, eb, myInput[off:hi])
-		n.Vol.WriteAsync(id, eb)
-		inBlocks = append(inBlocks, inBlock{id, hi - off})
+		for _, sp := range spans {
+			inBlocks = append(inBlocks, inBlock{sp.ID, sp.Bytes / sz})
+		}
+	} else {
+		loadEnc := bufpool.Get(bElem * sz)
+		for off := 0; off < len(myInput); off += bElem {
+			hi := off + bElem
+			if hi > len(myInput) {
+				hi = len(myInput)
+			}
+			id := n.Vol.Alloc()
+			eb := loadEnc[:(hi-off)*sz]
+			elem.EncodeInto(c, eb, myInput[off:hi])
+			n.Vol.WriteAsync(id, eb)
+			inBlocks = append(inBlocks, inBlock{id, hi - off})
+		}
+		bufpool.Put(loadEnc)
 	}
-	bufpool.Put(loadEnc)
 	n.Vol.Drain()
 	n.Barrier()
 
@@ -472,7 +492,7 @@ func runPE[T any](c elem.Codec[T], n *cluster.Node, cfg *Config, bElem, bpr int,
 					buf = buf[16+cnt*sz:]
 					a.filled += cnt
 					if a.filled == bElem {
-						writeOut(c, n, st, cfg, o, a.data)
+						writeOut(c, n, st, o, a.data)
 						delete(outAsm, o)
 						n.Mem.Release(int64(bElem))
 					}
@@ -488,14 +508,126 @@ func runPE[T any](c elem.Codec[T], n *cluster.Node, cfg *Config, bElem, bpr int,
 	}
 	// Flush the final partial output block (at most one, on its home).
 	for o, a := range outAsm {
-		writeOut(c, n, st, cfg, o, a.data[:a.filled])
+		writeOut(c, n, st, o, a.data[:a.filled])
 		n.Mem.Release(int64(bElem))
 	}
 	n.Mem.Release(int64(len(pred))) // prediction table dead after the merge
 	n.Vol.Drain()
 	n.Barrier()
+
+	// ----- Collect: stream the output to the per-rank sinks -----
+	// (outside the measured phases, like core.Sort's collect step).
 	n.SetPhase("collect")
+	var myN int64
+	for _, b := range st.outBlocks {
+		myN += int64(b.len)
+	}
+	st.totalN = n.AllReduceInt64(myN, "sum")
+	outN, err := collectOutput(c, n, cfg, bElem, st.outBlocks, sink)
+	if err != nil {
+		return nil, err
+	}
+	st.outN = outN
 	return st, nil
+}
+
+// collectOutput re-routes the globally striped output blocks to their
+// canonical owners and feeds them to the sink in output order: rank i
+// receives blocks [G·i/P, G·(i+1)/P), so the per-rank sink streams
+// concatenate — in rank order — to the sorted sequence, exactly like
+// core.Sort's canonical partition. The transfer runs in windows of W
+// consecutive blocks per AllToAllv round, bounding both the sender's
+// staging and the receiver's reorder buffer to O(W·B) — the streamed
+// replacement for the old in-process [][]outBlock reassembly. Homes
+// free their blocks as they are shipped, so the striped copy is
+// consumed in place.
+func collectOutput[T any](c elem.Codec[T], n *cluster.Node, cfg *Config, bElem int, blocks []stripedBlock, sink func(rank int, b []byte) error) (int64, error) {
+	if sink == nil {
+		return 0, nil
+	}
+	sz := c.Size()
+	maxIdx := int64(-1)
+	for _, b := range blocks {
+		if b.idx > maxIdx {
+			maxIdx = b.idx
+		}
+	}
+	total := n.AllReduceInt64(maxIdx+1, "max") // G: global output blocks
+	if total == 0 {
+		return 0, nil
+	}
+	sort.Slice(blocks, func(i, j int) bool { return blocks[i].idx < blocks[j].idx })
+	bounds := make([]int64, n.P+1)
+	for i := 0; i <= n.P; i++ {
+		bounds[i] = total * int64(i) / int64(n.P)
+	}
+	owner := func(g int64) int {
+		return sort.Search(n.P, func(i int) bool { return bounds[i+1] > g })
+	}
+	// Window size: every round ships the blocks of W consecutive output
+	// indices, so a receiving owner reorders at most W blocks (≤ m/4
+	// elements) and a home stages ≈ W/P.
+	w := int64(4 * n.P)
+	if cfg.MemElems > 0 {
+		if lim := cfg.MemElems / (4 * int64(bElem)); lim < w {
+			w = lim
+		}
+	}
+	if w < 1 {
+		w = 1
+	}
+	raw := bufpool.Get(cfg.BlockBytes)
+	defer bufpool.Put(raw)
+	type entry struct {
+		idx  int64
+		data []byte
+	}
+	ptr := 0
+	var sunk int64
+	for w0 := int64(0); w0 < total; w0 += w {
+		w1 := w0 + w
+		send := make([][]byte, n.P)
+		var sendElems int64
+		for ptr < len(blocks) && blocks[ptr].idx < w1 {
+			b := blocks[ptr]
+			ptr++
+			n.Vol.ReadWait(b.id, raw[:b.len*sz])
+			dst := owner(b.idx)
+			var hdr [12]byte
+			binary.LittleEndian.PutUint64(hdr[:8], uint64(b.idx))
+			binary.LittleEndian.PutUint32(hdr[8:12], uint32(b.len))
+			send[dst] = append(send[dst], hdr[:]...)
+			send[dst] = append(send[dst], raw[:b.len*sz]...)
+			sendElems += int64(b.len)
+			n.Vol.Free(b.id)
+		}
+		n.Mem.MustAcquire(sendElems)
+		recv := n.AllToAllv(send)
+		n.Mem.Release(sendElems) // send copies handed off to receivers
+		var entries []entry
+		var recvElems int64
+		for p := 0; p < n.P; p++ {
+			buf := recv[p]
+			for len(buf) > 0 {
+				idx := int64(binary.LittleEndian.Uint64(buf[:8]))
+				cnt := int(binary.LittleEndian.Uint32(buf[8:12]))
+				entries = append(entries, entry{idx: idx, data: buf[12 : 12+cnt*sz]})
+				recvElems += int64(cnt)
+				buf = buf[12+cnt*sz:]
+			}
+		}
+		n.Mem.MustAcquire(recvElems)
+		sort.Slice(entries, func(i, j int) bool { return entries[i].idx < entries[j].idx })
+		for _, e := range entries {
+			if err := sink(n.Rank, e.data); err != nil {
+				return sunk, fmt.Errorf("stripesort: output sink, rank %d: %w", n.Rank, err)
+			}
+			sunk += int64(len(e.data)) / int64(sz)
+		}
+		cluster.RecycleRecv(recv)
+		n.Mem.Release(recvElems)
+	}
+	return sunk, nil
 }
 
 type outAsm[T any] struct {
@@ -507,19 +639,15 @@ func newOutAsm[T any](bElem int) *outAsm[T] {
 	return &outAsm[T]{data: make([]T, bElem)}
 }
 
-// writeOut persists one striped output block and records it.
-func writeOut[T any](c elem.Codec[T], n *cluster.Node, st *peState[T], cfg *Config, o int64, data []T) {
+// writeOut persists one striped output block and records its global
+// index (the collect step routes on it).
+func writeOut[T any](c elem.Codec[T], n *cluster.Node, st *peState[T], o int64, data []T) {
 	id := n.Vol.Alloc()
 	enc := bufpool.Get(len(data) * c.Size())
 	elem.EncodeInto(c, enc, data)
 	n.Vol.WriteAsync(id, enc)
 	bufpool.Put(enc)
-	st.outBlocks = append(st.outBlocks, stripedBlock{id: id, len: len(data)})
-	if cfg.KeepOutput {
-		kept := make([]T, len(data))
-		copy(kept, data)
-		st.outData = append(st.outData, outBlock[T]{idx: o, data: kept})
-	}
+	st.outBlocks = append(st.outBlocks, stripedBlock{idx: o, id: id, len: len(data)})
 }
 
 func min64(a, b int64) int64 {

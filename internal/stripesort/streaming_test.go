@@ -1,0 +1,92 @@
+package stripesort
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"io"
+	"slices"
+	"testing"
+
+	"demsort/internal/blockio"
+	"demsort/internal/elem"
+	"demsort/internal/workload"
+)
+
+// TestStripedSinkStreamsCanonicalRanges pins the Sink contract: rank
+// i's stream is a contiguous, in-order share of the sorted output, and
+// the streams concatenate in rank order to exactly Result.Output.
+func TestStripedSinkStreamsCanonicalRanges(t *testing.T) {
+	for _, store := range []string{"ram", "file"} {
+		t.Run(store, func(t *testing.T) {
+			cfg := testConfig(4)
+			if store == "file" {
+				cfg.NewStore = blockio.FileStoreFactory(t.TempDir(), cfg.BlockBytes)
+			}
+			streamed := make([][]byte, cfg.P)
+			cfg.Sink = func(rank int, b []byte) error {
+				streamed[rank] = append(streamed[rank], b...)
+				return nil
+			}
+			input := workload.Generate(workload.Uniform, cfg.P, 5200, 77)
+			res, err := Sort[elem.KV16](kvc, cfg, input)
+			if err != nil {
+				t.Fatal(err)
+			}
+			checkSorted(t, res, input)
+			var all []byte
+			for rank := 0; rank < cfg.P; rank++ {
+				if len(streamed[rank]) == 0 {
+					t.Fatalf("rank %d received no output stream", rank)
+				}
+				part := elem.DecodeSlice(kvc, streamed[rank], len(streamed[rank])/16)
+				if !elem.IsSorted[elem.KV16](kvc, part) {
+					t.Fatalf("rank %d: sink stream not sorted", rank)
+				}
+				all = append(all, streamed[rank]...)
+			}
+			want := elem.EncodeSlice(kvc, res.Output)
+			if !bytes.Equal(all, want) {
+				t.Fatalf("concatenated sink streams (%d bytes) differ from Output (%d bytes)", len(all), len(want))
+			}
+		})
+	}
+}
+
+// TestStripedSourceMatchesSliceInput: the streaming input path must be
+// byte-equivalent to the slice path for the striped algorithm too.
+func TestStripedSourceMatchesSliceInput(t *testing.T) {
+	for _, p := range []int{1, 4} {
+		t.Run(fmt.Sprintf("p%d", p), func(t *testing.T) {
+			input := workload.Generate(workload.Uniform, p, 5100, 13)
+			ref, err := Sort[elem.KV16](kvc, testConfig(p), input)
+			if err != nil {
+				t.Fatal(err)
+			}
+			cfg := testConfig(p)
+			cfg.Source = func(rank int) (io.Reader, int64, error) {
+				return bytes.NewReader(elem.EncodeSlice(kvc, input[rank])), int64(len(input[rank])), nil
+			}
+			res, err := Sort[elem.KV16](kvc, cfg, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !slices.Equal(res.Output, ref.Output) {
+				t.Fatal("source-loaded striped output differs from slice-loaded")
+			}
+		})
+	}
+}
+
+// A Sink error during striped collection must abort the sort.
+func TestStripedSinkErrorAborts(t *testing.T) {
+	cfg := testConfig(2)
+	cfg.KeepOutput = false
+	sinkErr := errors.New("part file write failed")
+	cfg.Sink = func(rank int, b []byte) error { return sinkErr }
+	input := workload.Generate(workload.Uniform, 2, 5000, 3)
+	_, err := Sort[elem.KV16](kvc, cfg, input)
+	if err == nil || !errors.Is(err, sinkErr) {
+		t.Fatalf("sink error must abort the striped sort, got %v", err)
+	}
+}

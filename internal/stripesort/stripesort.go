@@ -18,10 +18,12 @@ package stripesort
 
 import (
 	"fmt"
+	"io"
 
 	"demsort/internal/blockio"
 	"demsort/internal/cluster"
 	"demsort/internal/cluster/sim"
+	"demsort/internal/core"
 	"demsort/internal/elem"
 	"demsort/internal/psort"
 	"demsort/internal/vtime"
@@ -53,8 +55,27 @@ type Config struct {
 	Overlap bool
 	// RealWorkers is the genuine sorting parallelism inside a PE.
 	RealWorkers int
-	// KeepOutput retains the sorted output for validation.
+	// KeepOutput retains the sorted output for validation. It is
+	// implemented on top of the Sink path (the output blocks are
+	// re-routed from their striped homes to canonical owners and
+	// decoded), so it requires every PE to be hosted in-process.
 	KeepOutput bool
+	// Source, when non-nil, streams each locally hosted rank's input
+	// as encoded element bytes (see core.Config.Source): the load
+	// phase reads it block-at-a-time onto the rank's volume, holding
+	// only one staging block in RAM. With Source set the input
+	// argument of Sort must be nil.
+	Source func(rank int) (io.Reader, int64, error)
+	// Sink, when non-nil, streams the sorted output: after the merge,
+	// the striped blocks are re-routed over the transport so that rank
+	// i receives the contiguous output block range [G·i/P, G·(i+1)/P)
+	// in ascending order — concatenating the per-rank sink streams in
+	// rank order yields the globally sorted sequence (demsort's
+	// -striped part files). Calls for one rank are sequential and in
+	// output order; on the sim backend distinct ranks stream
+	// concurrently. Sink must be set (or unset) uniformly across the
+	// processes of one machine; an error aborts the sort.
+	Sink func(rank int, encoded []byte) error
 	// Model is the virtual-time cost model.
 	Model vtime.CostModel
 	// NewStore optionally overrides the block store factory.
@@ -96,7 +117,11 @@ type Result[T any] struct {
 	// StripedBlocks[rank] is the number of output blocks PE rank
 	// stores — the striped layout itself.
 	StripedBlocks []int64
-	PeakMemElems  []int64
+	// OutputLens[rank] is the element count delivered to rank's Sink
+	// (its canonical block-range share of the output); zero when no
+	// sink ran.
+	OutputLens   []int64
+	PeakMemElems []int64
 }
 
 // MaxWall and PhaseBytes mirror core.Result.
@@ -141,9 +166,10 @@ func (r *Result[T]) NetBytes(phase string) int64 {
 	return b
 }
 
-// stripedBlock is one globally striped block this PE stores: block
-// index blk of run (or of the output when run == -1).
+// stripedBlock is one globally striped output block this PE homes:
+// global output block index idx, stored as block id with len elements.
 type stripedBlock struct {
+	idx int64
 	id  blockio.BlockID
 	len int
 }
@@ -167,8 +193,11 @@ func Sort[T any](c elem.Codec[T], cfg Config, input [][]T) (*Result[T], error) {
 	if cfg.P < 1 {
 		return nil, fmt.Errorf("stripesort: P must be >= 1")
 	}
-	if len(input) != cfg.P {
+	if cfg.Source == nil && len(input) != cfg.P {
 		return nil, fmt.Errorf("stripesort: input has %d slices for %d PEs", len(input), cfg.P)
+	}
+	if cfg.Source != nil && input != nil {
+		return nil, fmt.Errorf("stripesort: Source and input slices are mutually exclusive")
 	}
 	if cfg.Model == (vtime.CostModel{}) {
 		cfg.Model = vtime.Default()
@@ -195,6 +224,15 @@ func Sort[T any](c elem.Codec[T], cfg Config, input [][]T) (*Result[T], error) {
 	}
 	runLocal = int64(bpr) * int64(bElem)
 
+	// Open the streaming sources of the locally hosted ranks up front:
+	// their element counts drive the capacity check exactly like the
+	// slice lengths do, while the streams are consumed in the load
+	// phase (core.OpenSources is the shared contract enforcement).
+	sources, sourceN, err := core.OpenSources(cfg.Source, cfg.Machine, cfg.P)
+	if err != nil {
+		return nil, fmt.Errorf("stripesort: %w", err)
+	}
+
 	// Capacity: the merge keeps at most one leftover block per run in
 	// memory machine-wide, and each PE buffers its fetch quota, so R
 	// may grow to Θ(M/B) — the global constraint of Section III.
@@ -202,6 +240,11 @@ func Sort[T any](c elem.Codec[T], cfg Config, input [][]T) (*Result[T], error) {
 	for _, part := range input {
 		if int64(len(part)) > nPerPE {
 			nPerPE = int64(len(part))
+		}
+	}
+	for _, cnt := range sourceN {
+		if cnt > nPerPE {
+			nPerPE = cnt
 		}
 	}
 	runs := int((nPerPE + runLocal - 1) / runLocal)
@@ -232,12 +275,26 @@ func Sort[T any](c elem.Codec[T], cfg Config, input [][]T) (*Result[T], error) {
 	} else if m.P() != cfg.P {
 		return nil, fmt.Errorf("stripesort: machine has %d PEs, config says %d", m.P(), cfg.P)
 	}
-	if len(m.Nodes()) != cfg.P {
-		// Striped output collection (KeepOutput reassembly, per-rank
-		// stats, batch counts) is in-process; a partially hosted
-		// machine would silently return an incomplete Output. See the
-		// ROADMAP item "Striped sort on tcp".
-		return nil, fmt.Errorf("stripesort: machine hosts %d of %d PEs; the striped sort requires all PEs in-process (use the sim backend)", len(m.Nodes()), cfg.P)
+
+	// KeepOutput rides on the Sink path: an internal sink decodes each
+	// rank's contiguous output range, and the ranges concatenate in
+	// rank order to the globally sorted sequence. Distinct ranks write
+	// distinct slots, so the sim backend's concurrent PEs need no lock.
+	sink := cfg.Sink
+	var keep [][]T
+	if cfg.KeepOutput {
+		if len(m.Nodes()) != cfg.P {
+			return nil, fmt.Errorf("stripesort: KeepOutput needs all %d PEs hosted in-process (machine hosts %d); stream a distributed run through Sink instead", cfg.P, len(m.Nodes()))
+		}
+		keep = make([][]T, cfg.P)
+		user := sink
+		sink = func(rank int, b []byte) error {
+			keep[rank] = elem.AppendDecode(c, keep[rank], b, len(b)/sz)
+			if user != nil {
+				return user(rank, b)
+			}
+			return nil
+		}
 	}
 
 	res := &Result[T]{
@@ -247,14 +304,19 @@ func Sort[T any](c elem.Codec[T], cfg Config, input [][]T) (*Result[T], error) {
 		PhaseNames:    []string{PhaseRunForm, PhaseMerge},
 		PerPE:         make([]map[string]*vtime.PhaseStats, cfg.P),
 		StripedBlocks: make([]int64, cfg.P),
+		OutputLens:    make([]int64, cfg.P),
 		PeakMemElems:  make([]int64, cfg.P),
 	}
-	outParts := make([][]outBlock[T], cfg.P) // KeepOutput reassembly
 	batches := make([]int, cfg.P)
 	runsSeen := make([]int, cfg.P)
+	totalN := make([]int64, cfg.P)
 
-	err := m.Run(func(n *cluster.Node) error {
-		st, err := runPE(c, n, &cfg, bElem, bpr, input[n.Rank])
+	err = m.Run(func(n *cluster.Node) error {
+		var myInput []T
+		if cfg.Source == nil {
+			myInput = input[n.Rank]
+		}
+		st, err := runPE(c, n, &cfg, bElem, bpr, sources[n.Rank], sourceN[n.Rank], myInput, sink)
 		if err != nil {
 			return err
 		}
@@ -262,9 +324,8 @@ func Sort[T any](c elem.Codec[T], cfg Config, input [][]T) (*Result[T], error) {
 		res.PeakMemElems[n.Rank] = n.Mem.Peak()
 		batches[n.Rank] = st.batches
 		runsSeen[n.Rank] = st.runs
-		if cfg.KeepOutput {
-			outParts[n.Rank] = st.outData
-		}
+		totalN[n.Rank] = st.totalN
+		res.OutputLens[n.Rank] = st.outN
 		return nil
 	})
 	if err != nil {
@@ -278,44 +339,20 @@ func Sort[T any](c elem.Codec[T], cfg Config, input [][]T) (*Result[T], error) {
 	local0 := m.Nodes()[0].Rank
 	res.Runs = runsSeen[local0]
 	res.Batches = batches[local0]
+	res.N = totalN[local0]
 	if cfg.KeepOutput {
-		// Reassemble the striped output in global block order.
-		var all []outBlock[T]
-		for _, part := range outParts {
-			all = append(all, part...)
-		}
-		maxIdx := int64(-1)
-		for _, b := range all {
-			if b.idx > maxIdx {
-				maxIdx = b.idx
-			}
-		}
-		ordered := make([][]T, maxIdx+1)
-		for _, b := range all {
-			ordered[b.idx] = b.data
-		}
-		for _, blk := range ordered {
-			res.Output = append(res.Output, blk...)
-			res.N += int64(len(blk))
-		}
-	} else {
-		for _, part := range input {
-			res.N += int64(len(part))
+		for _, part := range keep {
+			res.Output = append(res.Output, part...)
 		}
 	}
 	return res, nil
 }
 
-// outBlock carries a kept output block for reassembly.
-type outBlock[T any] struct {
-	idx  int64
-	data []T
-}
-
 // peState is what one PE reports back.
 type peState[T any] struct {
 	outBlocks []stripedBlock
-	outData   []outBlock[T]
 	batches   int
 	runs      int
+	totalN    int64
+	outN      int64 // elements delivered to this rank's sink
 }
