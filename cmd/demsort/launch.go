@@ -51,6 +51,7 @@ type launchParams struct {
 	outdir    string
 	store     string
 	workdir   string
+	fault     string
 }
 
 // workerArgs renders the demsort worker command line for one rank.
@@ -77,6 +78,11 @@ func (lp launchParams) workerArgs(rank int, peers []string) []string {
 	}
 	if lp.infile != "" {
 		args = append(args, "-infile", lp.infile)
+	}
+	if lp.fault != "" {
+		// The spec is space-free by construction (ParseSpec rejects
+		// nothing else, and DEMSORT_ARGS splits on spaces).
+		args = append(args, "-fault", lp.fault)
 	}
 	return args
 }
@@ -178,10 +184,11 @@ func killFleet(workers []*worker) {
 
 // waitFleet supervises the running fleet. Every worker failure is
 // reported as it lands; after the first one, survivors get
-// graceAfterFailure to abort on their own (losing a peer unwinds them
-// with "lost rank"), then whatever still runs is killed. Returns the
-// first failure and whether any worker hit the listen-race exit code.
-func waitFleet(workers []*worker) (firstErr error, listenRace bool) {
+// graceAfterFailure to abort on their own (the transport's internal
+// abort propagation unwinds them), then whatever still runs is killed.
+// Returns the first failure and the ranks that hit the listen-race
+// exit code (so the launcher can log the contested addresses).
+func waitFleet(workers []*worker) (firstErr error, raceRanks []int) {
 	type exit struct {
 		rank int
 		err  error
@@ -200,7 +207,7 @@ func waitFleet(workers []*worker) (firstErr error, listenRace bool) {
 				continue
 			}
 			if exitCode(e.err) == exitListenRace {
-				listenRace = true
+				raceRanks = append(raceRanks, e.rank)
 			}
 			if reaped && exitCode(e.err) == -1 {
 				continue // our own kill, not a worker failure
@@ -221,7 +228,7 @@ func waitFleet(workers []*worker) (firstErr error, listenRace bool) {
 		w.out.flush()
 		w.errW.flush()
 	}
-	return firstErr, listenRace
+	return firstErr, raceRanks
 }
 
 func exitCode(err error) int {
@@ -262,7 +269,12 @@ func runLauncher(p int, lp launchParams, hostfilePath string, basePort int, sshC
 		allLocal = allLocal && pl.Local
 	}
 
-	const maxAttempts = 3
+	// Listen-race retries back off with jitter instead of immediately
+	// re-reserving: the contention that stole one port (another test
+	// fleet, a mass of short-lived dials) rarely clears in microseconds,
+	// and stampeding back in lockstep just re-rolls the same dice.
+	const maxAttempts = 5
+	backoff := tcp.NewBackoff(50*time.Millisecond, time.Second, uint64(os.Getpid()))
 	start := time.Now()
 	for attempt := 1; ; attempt++ {
 		// Assign the launcher-reserved ephemeral ports (loopback
@@ -286,13 +298,18 @@ func runLauncher(p int, lp launchParams, hostfilePath string, basePort int, sshC
 		fmt.Printf("launching %d workers on %s\n", p, strings.Join(peers, ","))
 		workers, err := spawnFleet(placements, peers, lp, sshCmd, remoteExe)
 		fail(err)
-		firstErr, listenRace := waitFleet(workers)
+		firstErr, raceRanks := waitFleet(workers)
 		if firstErr == nil {
 			break
 		}
-		if listenRace && len(ephemeral) > 0 && attempt < maxAttempts {
-			fmt.Fprintf(os.Stderr, "a reserved port was taken before its worker bound it (attempt %d/%d); retrying with fresh ports\n",
-				attempt, maxAttempts)
+		if len(raceRanks) > 0 && len(ephemeral) > 0 && attempt < maxAttempts {
+			for _, r := range raceRanks {
+				fmt.Fprintf(os.Stderr, "attempt %d/%d: reserved address %s was taken before rank %d bound it\n",
+					attempt, maxAttempts, peers[r], r)
+			}
+			wait := backoff.Next()
+			fmt.Fprintf(os.Stderr, "retrying with fresh ports in %v\n", wait.Round(time.Millisecond))
+			time.Sleep(wait)
 			continue
 		}
 		fmt.Fprintf(os.Stderr, "fleet failed: %v\n", firstErr)

@@ -59,12 +59,13 @@ import (
 	"io"
 	"os"
 	"path/filepath"
-	"strconv"
 	"strings"
 	"time"
 
 	demsort "demsort"
 	"demsort/internal/blockio"
+	"demsort/internal/cluster"
+	"demsort/internal/cluster/faulty"
 	"demsort/internal/cluster/tcp"
 	"demsort/internal/elem"
 	"demsort/internal/sortbench"
@@ -93,6 +94,7 @@ func main() {
 	remoteExe := flag.String("remote-exe", "", "demsort binary path on remote hosts (default: this binary's path)")
 	rank := flag.Int("rank", -1, "this process's PE rank (tcp worker mode; -1 = launch workers)")
 	peers := flag.String("peers", "", "comma-separated host:port listen addresses, one per rank (tcp)")
+	faultSpec := flag.String("fault", "", "deterministic fault injection, e.g. rank=2,action=die,op=AllToAllv,phase=all-to-all (see internal/cluster/faulty)")
 	flag.Parse()
 
 	if *store != "ram" && *store != "file" {
@@ -109,6 +111,10 @@ func main() {
 		outdir:    *outdir,
 		store:     *store,
 		workdir:   *workdir,
+		fault:     *faultSpec,
+	}
+	if _, err := faulty.ParseSpec(lp.fault); err != nil {
+		fail(err)
 	}
 	switch *transport {
 	case "sim":
@@ -359,7 +365,7 @@ func runRecordsSim(p int, lp launchParams) {
 
 func runTCPWorker(rank int, peers []string, lp launchParams) {
 	p := len(peers)
-	m, err := tcp.New(tcp.Config{
+	tm, err := tcp.New(tcp.Config{
 		Rank:       rank,
 		Peers:      peers,
 		BlockBytes: lp.block,
@@ -376,18 +382,16 @@ func runTCPWorker(rank int, peers []string, lp launchParams) {
 		}
 		os.Exit(1)
 	}
-	defer m.Close()
+	defer tm.Close()
 
-	// Fault injection for the crash tests: the designated rank dies
-	// abruptly once the machine is connected — no goodbye frame, no
-	// Close — exactly like a segfaulted or OOM-killed worker.
-	if os.Getenv("DEMSORT_CRASH_RANK") == strconv.Itoa(rank) {
-		ms := 100
-		if v, err := strconv.Atoi(os.Getenv("DEMSORT_CRASH_AFTER_MS")); err == nil {
-			ms = v
-		}
-		time.Sleep(time.Duration(ms) * time.Millisecond)
-		os.Exit(11)
+	// Deterministic fault injection (chaos tests): the spec is shared
+	// by the whole fleet and each fault names the rank it lives on, so
+	// forwarding it verbatim to every worker is correct.
+	var m cluster.Machine = tm
+	if lp.fault != "" {
+		faults, ferr := faulty.ParseSpec(lp.fault)
+		fail(ferr)
+		m = faulty.Wrap(tm, lp.seed, faults...)
 	}
 
 	// The input streams in via Source (gensort file section or

@@ -140,9 +140,11 @@ func TestStripedTCPLauncherMatchesSim(t *testing.T) {
 }
 
 // TestWorkerFailureLeavesNoTruncatedPart kills one worker mid-fleet
-// and asserts outdir holds no part-%03d afterwards: parts stage as
-// .tmp and publish by rename on success only, so an aborted or reaped
-// worker can never leave a truncated partition behind.
+// (deterministically, via the fault injector: rank 1 dies on its first
+// all-to-all exchange) and asserts outdir holds no part-%03d
+// afterwards: parts stage as .tmp and publish by rename on success
+// only, so an aborted or reaped worker can never leave a truncated
+// partition behind.
 func TestWorkerFailureLeavesNoTruncatedPart(t *testing.T) {
 	exe, err := os.Executable()
 	if err != nil {
@@ -151,8 +153,7 @@ func TestWorkerFailureLeavesNoTruncatedPart(t *testing.T) {
 	outdir := filepath.Join(t.TempDir(), "out")
 	cmd := exec.Command(exe)
 	cmd.Env = append(os.Environ(),
-		"DEMSORT_ARGS=-transport=tcp -p 4 -n 5000 -seed 13 -outdir "+outdir,
-		"DEMSORT_CRASH_RANK=1", "DEMSORT_CRASH_AFTER_MS=50",
+		"DEMSORT_ARGS=-transport=tcp -p 4 -n 5000 -seed 13 -fault rank=1,action=die,op=AllToAllv,phase=all-to-all -outdir "+outdir,
 	)
 	out, runErr := cmd.CombinedOutput()
 	if runErr == nil {
@@ -232,9 +233,10 @@ func TestHostfileLauncherMatchesSim(t *testing.T) {
 	}
 }
 
-// TestWorkerCrashAbortsFleet kills one tcp worker mid-run and asserts
-// the fleet dies with it, promptly: surviving ranks abort on the lost
-// peer instead of hanging, the launcher reaps them and exits non-zero
+// TestWorkerCrashAbortsFleet kills one tcp worker mid-run
+// (deterministic injector: rank 2 dies at its first collective) and
+// asserts the fleet dies with it, promptly: surviving ranks abort on
+// the lost peer instead of hanging, and the launcher exits non-zero
 // well within the peers' 30s connect/abort margins.
 func TestWorkerCrashAbortsFleet(t *testing.T) {
 	exe, err := os.Executable()
@@ -244,8 +246,7 @@ func TestWorkerCrashAbortsFleet(t *testing.T) {
 	outdir := filepath.Join(t.TempDir(), "out")
 	cmd := exec.Command(exe)
 	cmd.Env = append(os.Environ(),
-		"DEMSORT_ARGS=-transport=tcp -p 4 -n 20000 -seed 13 -outdir "+outdir,
-		"DEMSORT_CRASH_RANK=2",
+		"DEMSORT_ARGS=-transport=tcp -p 4 -n 20000 -seed 13 -fault rank=2,action=die -outdir "+outdir,
 	)
 	start := time.Now()
 	done := make(chan error, 1)
@@ -272,8 +273,67 @@ func TestWorkerCrashAbortsFleet(t *testing.T) {
 	if !strings.Contains(text, "worker 2") {
 		t.Fatalf("launcher did not report the crashed worker:\n%s", text)
 	}
-	if !strings.Contains(text, "lost rank 2") {
-		t.Fatalf("surviving ranks did not abort on the lost peer:\n%s", text)
+	if !strings.Contains(text, "aborted: rank 2") {
+		t.Fatalf("surviving ranks did not return the typed abort naming the dead rank:\n%s", text)
+	}
+}
+
+// TestFleetAbortPropagation is the failure plane's acceptance
+// scenario: a fleet of 4 real tcp processes, one rank killed mid
+// all-to-all by the deterministic injector. Every surviving rank must
+// unwind via internal abort propagation — returning the typed
+// ErrAborted naming the dead rank — within the launcher's grace
+// window, WITHOUT the launcher killing a single survivor.
+func TestFleetAbortPropagation(t *testing.T) {
+	exe, err := os.Executable()
+	if err != nil {
+		t.Fatal(err)
+	}
+	outdir := filepath.Join(t.TempDir(), "out")
+	cmd := exec.Command(exe)
+	cmd.Env = append(os.Environ(),
+		"DEMSORT_ARGS=-transport=tcp -p 4 -n 20000 -seed 13 -fault rank=2,action=die,op=AllToAllv,phase=all-to-all -outdir "+outdir,
+	)
+	start := time.Now()
+	done := make(chan error, 1)
+	var out []byte
+	go func() {
+		var runErr error
+		out, runErr = cmd.CombinedOutput()
+		done <- runErr
+	}()
+	select {
+	case runErr := <-done:
+		if runErr == nil {
+			t.Fatalf("launcher exited 0 despite a crashed worker:\n%s", out)
+		}
+	case <-time.After(20 * time.Second):
+		cmd.Process.Kill()
+		t.Fatalf("launcher still running 20s after a worker crash")
+	}
+	if elapsed := time.Since(start); elapsed > 15*time.Second {
+		t.Fatalf("fleet took %v to unwind; want bounded internal abort", elapsed)
+	}
+	text := string(out)
+	// Every survivor returns *cluster.ErrAborted attributing the dead
+	// rank (printed by the worker, prefixed by the launcher).
+	for _, rank := range []int{0, 1, 3} {
+		prefix := fmt.Sprintf("[w%d] ", rank)
+		found := false
+		for _, line := range strings.Split(text, "\n") {
+			if strings.HasPrefix(line, prefix) && strings.Contains(line, "aborted: rank 2") {
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Fatalf("rank %d did not unwind with the typed abort naming rank 2:\n%s", rank, text)
+		}
+	}
+	// The survivors unwound from the inside: the launcher never had to
+	// reap anyone.
+	if strings.Contains(text, "reaping the remaining workers") {
+		t.Fatalf("launcher had to reap survivors — abort propagation did not unwind them in time:\n%s", text)
 	}
 }
 

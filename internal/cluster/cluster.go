@@ -27,11 +27,63 @@
 package cluster
 
 import (
+	"errors"
+	"fmt"
+
 	"demsort/internal/blockio"
 	"demsort/internal/bufpool"
 	"demsort/internal/membudget"
 	"demsort/internal/vtime"
 )
+
+// JobRank is the ErrAborted rank for failures that belong to the job
+// rather than to any PE: an external cancellation (context, Abort) or
+// a launcher-level decision.
+const JobRank = -1
+
+// ErrAborted is the typed failure of an aborted machine run: every
+// rank of the machine — the one at fault and every survivor that was
+// unwound by the abort propagation — returns it from Machine.Run, with
+// Rank naming the PE the failure is attributed to (JobRank for
+// external cancellations) and Cause carrying the underlying error.
+// Unwrap exposes Cause, so errors.Is/As reach through to injected or
+// sentinel errors.
+type ErrAborted struct {
+	// Rank is the PE at fault: the one that crashed, wedged, returned
+	// an error, or hit a protocol bug — as attributed by the rank that
+	// detected it (JobRank for job-level cancellation).
+	Rank int
+	// Cause is the underlying failure.
+	Cause error
+}
+
+// Error implements error.
+func (e *ErrAborted) Error() string {
+	if e.Rank == JobRank {
+		return fmt.Sprintf("aborted: job: %v", e.Cause)
+	}
+	return fmt.Sprintf("aborted: rank %d: %v", e.Rank, e.Cause)
+}
+
+// Unwrap exposes the underlying cause to errors.Is/As.
+func (e *ErrAborted) Unwrap() error { return e.Cause }
+
+// Abortedf builds an *ErrAborted attributed to rank from a format
+// string (backend convenience).
+func Abortedf(rank int, format string, args ...any) *ErrAborted {
+	return &ErrAborted{Rank: rank, Cause: fmt.Errorf(format, args...)}
+}
+
+// AsAborted wraps err into an *ErrAborted attributed to rank, unless
+// it already is one (the first attribution wins: an error that crossed
+// the machine as an abort frame keeps naming the original culprit).
+func AsAborted(rank int, err error) *ErrAborted {
+	var ae *ErrAborted
+	if errors.As(err, &ae) {
+		return ae
+	}
+	return &ErrAborted{Rank: rank, Cause: err}
+}
 
 // Transport is the communication surface of one PE: the MPI-like
 // collectives and point-to-point primitives the phases are written
@@ -43,7 +95,12 @@ import (
 // mismatch, lost peer) aborts the whole machine run, unwinding the PE
 // goroutine through a backend-internal panic that Machine.Run recovers
 // into the returned error — phase code stays free of transport error
-// plumbing, exactly as with MPI's default error handler.
+// plumbing, exactly as with MPI's default error handler. An aborted
+// run surfaces as *ErrAborted naming the rank at fault: backends
+// detect failed peers themselves (lost connections, missed
+// heartbeats, per-op deadlines on the tcp backend) and fan the abort
+// out peer to peer, so every surviving rank unwinds from the inside
+// in bounded time instead of waiting for an external supervisor.
 type Transport interface {
 	// Rank is this PE's index in 0..P-1; P is the machine size.
 	Rank() int
@@ -114,8 +171,23 @@ type Machine interface {
 	Nodes() []*Node
 	// P returns the machine size (total PEs across all processes).
 	P() int
+	// Abort fails the machine run from the outside (job cancellation,
+	// supervisor decision): every blocked PE unwinds, Run returns
+	// *ErrAborted with Rank JobRank and the given cause, and — on
+	// multi-process backends — the abort propagates to the peer
+	// processes. Safe to call from any goroutine, including when no
+	// run is active (the next Run observes it).
+	Abort(cause error)
 	// Close releases the backend's resources (stores, sockets).
 	Close() error
+}
+
+// MailboxStats is an optional Transport extension for backends that
+// buffer received messages (eager buffering): it reports the peak
+// number of bytes that were ever queued undelivered across this PE's
+// mailboxes — the receive-side memory that membudget-style tests pin.
+type MailboxStats interface {
+	MailboxPeakBytes() int64
 }
 
 // Node is the per-PE context handed to the program run on the machine:
@@ -141,8 +213,24 @@ func NewNode(tr Transport, st Stats, vol *blockio.Volume, mem *membudget.Tracker
 	return &Node{Rank: tr.Rank(), P: tr.P(), Vol: vol, Mem: mem, tr: tr, st: st}
 }
 
-// Transport returns the backend transport (backend tests).
+// Transport returns the backend transport (backend tests and
+// transport wrappers).
 func (n *Node) Transport() Transport { return n.tr }
+
+// NodeStats returns the backend stats implementation (transport
+// wrappers re-assemble Nodes around a wrapped Transport and need the
+// original accounting to ride along).
+func (n *Node) NodeStats() Stats { return n.st }
+
+// MailboxPeakBytes reports the peak bytes ever queued undelivered in
+// this PE's receive mailboxes, or 0 when the backend does not buffer
+// (see MailboxStats).
+func (n *Node) MailboxPeakBytes() int64 {
+	if ms, ok := n.tr.(MailboxStats); ok {
+		return ms.MailboxPeakBytes()
+	}
+	return 0
+}
 
 // SetPhase switches per-phase accounting to name.
 func (n *Node) SetPhase(name string) { n.st.SetPhase(name) }

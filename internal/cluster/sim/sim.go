@@ -21,6 +21,7 @@
 package sim
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"sync"
@@ -51,6 +52,12 @@ type Config struct {
 	// Mailboxes grow beyond it on demand — the knob sizes the
 	// steady-state allocation, it is not a blocking bound.
 	P2PDepth int
+	// Ctx optionally cancels the job from the outside: when it is
+	// done, the machine aborts and Run returns *cluster.ErrAborted
+	// with Rank cluster.JobRank. (Liveness machinery beyond this —
+	// heartbeats, per-op deadlines — belongs to the multi-process tcp
+	// backend; a single-process simulation cannot half-die.)
+	Ctx context.Context
 }
 
 // DefaultP2PDepth is the default initial mailbox capacity.
@@ -66,7 +73,13 @@ type Machine struct {
 
 	abortOnce sync.Once
 	abortFlag atomic.Bool
-	abortErr  error
+	abortErr  error // always *cluster.ErrAborted once set
+
+	done     chan struct{} // closed on abort or Close: the ctx watcher exits
+	stopOnce sync.Once
+
+	boxBytes atomic.Int64 // payload bytes queued undelivered across p2p mailboxes
+	boxPeak  atomic.Int64 // high-water mark of boxBytes
 }
 
 // New builds a machine; Close releases the stores.
@@ -80,7 +93,7 @@ func New(cfg Config) (*Machine, error) {
 	if cfg.P2PDepth <= 0 {
 		cfg.P2PDepth = DefaultP2PDepth
 	}
-	m := &Machine{cfg: cfg}
+	m := &Machine{cfg: cfg, done: make(chan struct{})}
 	m.rv = newRendezvous(cfg.P, m)
 	m.p2p = make([]*mailbox, cfg.P*cfg.P)
 	for i := range m.p2p {
@@ -107,11 +120,21 @@ func New(cfg Config) (*Machine, error) {
 			membudget.New(cfg.MemElems),
 		))
 	}
+	if cfg.Ctx != nil {
+		go func() {
+			select {
+			case <-cfg.Ctx.Done():
+				m.Abort(cfg.Ctx.Err())
+			case <-m.done:
+			}
+		}()
+	}
 	return m, nil
 }
 
 // Close releases the per-PE stores.
 func (m *Machine) Close() error {
+	m.stopOnce.Do(func() { close(m.done) })
 	var first error
 	for _, n := range m.nodes {
 		if err := n.Vol.Store().Close(); err != nil && first == nil {
@@ -150,11 +173,11 @@ func (m *Machine) Run(fn func(*cluster.Node) error) error {
 					if _, isAbort := r.(abort); isAbort {
 						return // unwound because a peer failed
 					}
-					m.fail(fmt.Errorf("sim: PE %d panicked: %v", n.Rank, r))
+					m.fail(cluster.Abortedf(n.Rank, "sim: PE %d panicked: %v", n.Rank, r))
 				}
 			}()
 			if err := fn(n); err != nil {
-				m.fail(fmt.Errorf("PE %d: %w", n.Rank, err))
+				m.fail(cluster.AsAborted(n.Rank, fmt.Errorf("PE %d: %w", n.Rank, err)))
 			}
 		}(n)
 	}
@@ -162,17 +185,29 @@ func (m *Machine) Run(fn func(*cluster.Node) error) error {
 	return m.abortErr
 }
 
-// fail records the first error and wakes every PE blocked in a
+// Abort implements cluster.Machine: external job-level cancellation —
+// every blocked PE unwinds and Run returns *cluster.ErrAborted with
+// Rank cluster.JobRank.
+func (m *Machine) Abort(cause error) {
+	m.fail(&cluster.ErrAborted{Rank: cluster.JobRank, Cause: cause})
+}
+
+// fail records the first failure — wrapped as *cluster.ErrAborted, the
+// first attribution winning — and wakes every PE blocked in a
 // collective or a p2p receive. abortErr is guarded by the rendezvous
 // mutex: aborted() is only called with it held, and Run reads the
-// error only after all PE goroutines have joined.
+// error only after all PE goroutines have joined. Callers pass an
+// already-attributed *ErrAborted when they know the culprit rank;
+// plain errors are attributed to no PE in particular (JobRank).
 func (m *Machine) fail(err error) {
 	m.abortOnce.Do(func() {
+		ae := cluster.AsAborted(cluster.JobRank, err)
 		m.rv.mu.Lock()
-		m.abortErr = err
+		m.abortErr = ae
 		m.abortFlag.Store(true)
 		m.rv.cond.Broadcast()
 		m.rv.mu.Unlock()
+		m.stopOnce.Do(func() { close(m.done) })
 		for _, box := range m.p2p {
 			box.wake()
 		}
@@ -305,7 +340,7 @@ func (rv *rendezvous) do(rank int, op string, t float64, data any, compute func(
 		for i := range rv.ins {
 			if rv.ins[i].op != op {
 				rv.mu.Unlock()
-				rv.m.fail(fmt.Errorf("sim: collective mismatch: PE %d in %q, PE %d in %q",
+				rv.m.fail(cluster.Abortedf(i, "sim: collective mismatch: PE %d in %q, PE %d in %q",
 					i, rv.ins[i].op, rank, op))
 				panic(abort{})
 			}
@@ -552,6 +587,13 @@ func (e *endpoint) Send(dst, tag int, payload []byte) {
 	st.BytesSent += int64(len(payload))
 	arrival := e.clock.Now() + dur + model.NetLatency
 	e.m.p2p[e.rank*e.m.cfg.P+dst].push(message{tag: tag, payload: payload, arrival: arrival})
+	total := e.m.boxBytes.Add(int64(len(payload)))
+	for {
+		peak := e.m.boxPeak.Load()
+		if total <= peak || e.m.boxPeak.CompareAndSwap(peak, total) {
+			break
+		}
+	}
 }
 
 // Recv implements cluster.Transport, advancing this PE's clock to the
@@ -562,9 +604,10 @@ func (e *endpoint) Recv(src, tag int) []byte {
 		panic(abort{}) // machine failed while we were blocked
 	}
 	if msg.tag != tag {
-		e.m.fail(fmt.Errorf("sim: PE %d expected tag %d from %d, got %d", e.rank, tag, src, msg.tag))
+		e.m.fail(cluster.Abortedf(e.rank, "sim: PE %d expected tag %d from %d, got %d", e.rank, tag, src, msg.tag))
 		panic(abort{})
 	}
+	e.m.boxBytes.Add(-int64(len(msg.payload)))
 	e.clock.AdvanceTo(msg.arrival)
 	st := e.clock.Cur()
 	st.BytesRecv += int64(len(msg.payload))
@@ -576,9 +619,16 @@ func (e *endpoint) Recv(src, tag int) []byte {
 	return msg.payload
 }
 
+// MailboxPeakBytes implements cluster.MailboxStats: the machine-wide
+// high-water mark of payload bytes queued undelivered in the p2p
+// mailboxes (the eager-buffering memory a real receiver would hold;
+// one shared figure, since all PEs live in one address space here).
+func (e *endpoint) MailboxPeakBytes() int64 { return e.m.boxPeak.Load() }
+
 // Interface conformance.
 var (
-	_ cluster.Machine   = (*Machine)(nil)
-	_ cluster.Transport = (*endpoint)(nil)
-	_ cluster.Stats     = (*vtime.Clock)(nil)
+	_ cluster.Machine      = (*Machine)(nil)
+	_ cluster.Transport    = (*endpoint)(nil)
+	_ cluster.MailboxStats = (*endpoint)(nil)
+	_ cluster.Stats        = (*vtime.Clock)(nil)
 )

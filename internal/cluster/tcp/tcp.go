@@ -29,15 +29,45 @@
 // ExchangeAny crosses address spaces, so items must be gob-encodable;
 // common scalar and slice types are pre-registered, anything else
 // needs gob.Register at both ends.
+//
+// # Failure plane
+//
+// A machine of real processes cannot assume a healthy fleet: any rank
+// can crash (EOF mid-protocol), wedge (conn open, nothing flowing) or
+// be cancelled. The backend detects and unwinds all three from the
+// inside, in bounded time, without an external supervisor:
+//
+//   - liveness: every rank sends heartbeat frames on pairwise conns
+//     that have been idle for HeartbeatInterval; a blocked receive
+//     whose peer has been silent past HeartbeatTimeout fails the
+//     machine with *cluster.ErrAborted naming that peer — this is how
+//     a wedged (not merely closed) process is caught. OpTimeout is
+//     the hard per-op backstop: no single blocking send or receive
+//     outlives it even while heartbeats still flow.
+//   - abort propagation: the first failure (lost conn, missed
+//     heartbeats, a rank's program returning an error, Abort/context
+//     cancellation) fans an ABORT frame out to every peer carrying
+//     the culprit rank and cause, so the whole fleet unwinds
+//     peer-to-peer with consistent attribution instead of each rank
+//     timing out on its own. Stuck writers are unblocked by poisoning
+//     their write deadlines.
+//   - bring-up: dial retries use jittered exponential backoff
+//     (Backoff), bounded by ConnectTimeout.
+//
+// Receive-side buffering is accounted: MailboxPeakBytes reports the
+// high-water mark of queued undelivered frames, and crossing
+// MailboxHighWater warn-logs once.
 package tcp
 
 import (
 	"bytes"
+	"context"
 	"encoding/binary"
 	"encoding/gob"
 	"errors"
 	"fmt"
 	"io"
+	"log"
 	"net"
 	"sync"
 	"sync/atomic"
@@ -63,7 +93,13 @@ const (
 	tagA2A        = -1007
 	tagXAny       = -1008
 	tagClose      = -1009 // goodbye: the peer is shutting down cleanly
+	tagAbort      = -1010 // abort fan-out: payload = culprit rank + cause
+	tagHB         = -1011 // heartbeat: empty, consumed by the reader
 )
+
+// frameOverhead is the accounting weight of one queued frame beyond
+// its payload (the wire header).
+const frameOverhead = 12
 
 // handshake magic prefixing the dialer's rank announcement.
 const magic = 0x44454d53 // "DEMS"
@@ -109,6 +145,29 @@ type Config struct {
 	// ConnectTimeout bounds connection establishment (dial retries
 	// plus accepts); 0 means 30s.
 	ConnectTimeout time.Duration
+	// Ctx optionally cancels the job from the outside: when it is
+	// done, the machine aborts (Run returns *cluster.ErrAborted with
+	// Rank cluster.JobRank) and the abort fans out to the peers.
+	Ctx context.Context
+	// HeartbeatInterval is how often an idle pairwise connection
+	// carries a heartbeat frame so silence means trouble rather than
+	// idleness; 0 means 500ms, negative disables sending (peers will
+	// flag this rank as wedged if its conns stay idle too long).
+	HeartbeatInterval time.Duration
+	// HeartbeatTimeout is how long a peer may stay silent while this
+	// rank blocks on it before the machine aborts with that peer as
+	// the culprit — the wedged-peer detector; 0 means
+	// max(10×HeartbeatInterval, 5s), negative disables.
+	HeartbeatTimeout time.Duration
+	// OpTimeout is the hard backstop on any single blocking send or
+	// receive, independent of peer liveness (a peer can heartbeat
+	// forever without sending the frame this rank needs); 0 means 2m,
+	// negative disables.
+	OpTimeout time.Duration
+	// MailboxHighWater warn-logs (once) when the bytes queued
+	// undelivered across this PE's mailboxes exceed it; 0 means
+	// 256 MiB, negative disables.
+	MailboxHighWater int64
 }
 
 // Machine hosts this process's single PE; it implements both
@@ -118,7 +177,8 @@ type Machine struct {
 	rank  int
 	p     int
 	ln    net.Listener
-	peers []*peerConn // by rank; nil for self
+	peers   []*peerConn // by rank; self slot is mailbox-only
+	peersMu sync.Mutex  // guards slot publication during bring-up
 	node  *cluster.Node
 	clock *vtime.Clock
 	stats *wallStats
@@ -126,14 +186,28 @@ type Machine struct {
 	closed    atomic.Bool
 	abortOnce sync.Once
 	abortFlag atomic.Bool
-	abortErr  error
+	abortErr  *cluster.ErrAborted
 	abortMu   sync.Mutex
+
+	done     chan struct{} // closed on abort or Close: background goroutines exit
+	stopOnce sync.Once
+	wedged   atomic.Bool    // fault injection: stop proving liveness
+	bg       sync.WaitGroup // liveness + ctx watcher + per-peer readers
+
+	boxBytes atomic.Int64 // bytes currently queued undelivered
+	boxPeak  atomic.Int64 // high-water mark of boxBytes
+	hwWarned atomic.Bool
 }
 
 type peerConn struct {
 	conn net.Conn
 	wmu  sync.Mutex
 	box  *mailbox
+
+	// lastHeard/lastSent are unix nanos of the last frame read from /
+	// written to this peer — the liveness plane's evidence.
+	lastHeard atomic.Int64
+	lastSent  atomic.Int64
 }
 
 // sayGoodbye tells the peer this rank is shutting down cleanly, so a
@@ -171,7 +245,22 @@ func New(cfg Config) (*Machine, error) {
 	if cfg.ConnectTimeout <= 0 {
 		cfg.ConnectTimeout = 30 * time.Second
 	}
-	m := &Machine{cfg: cfg, rank: cfg.Rank, p: p, peers: make([]*peerConn, p)}
+	if cfg.HeartbeatInterval == 0 {
+		cfg.HeartbeatInterval = 500 * time.Millisecond
+	}
+	if cfg.HeartbeatTimeout == 0 {
+		cfg.HeartbeatTimeout = 10 * cfg.HeartbeatInterval
+		if cfg.HeartbeatTimeout < 5*time.Second {
+			cfg.HeartbeatTimeout = 5 * time.Second
+		}
+	}
+	if cfg.OpTimeout == 0 {
+		cfg.OpTimeout = 2 * time.Minute
+	}
+	if cfg.MailboxHighWater == 0 {
+		cfg.MailboxHighWater = 256 << 20
+	}
+	m := &Machine{cfg: cfg, rank: cfg.Rank, p: p, peers: make([]*peerConn, p), done: make(chan struct{})}
 	m.peers[cfg.Rank] = &peerConn{box: newMailbox()} // rank-local messages
 
 	if p > 1 {
@@ -215,6 +304,19 @@ func New(cfg Config) (*Machine, error) {
 		blockio.NewVolume(store, cfg.BlockBytes, cfg.Rank, cfg.Model, m.clock),
 		membudget.New(cfg.MemElems),
 	)
+	m.bg.Add(1)
+	go m.liveness()
+	if cfg.Ctx != nil {
+		m.bg.Add(1)
+		go func() {
+			defer m.bg.Done()
+			select {
+			case <-cfg.Ctx.Done():
+				m.fail(&cluster.ErrAborted{Rank: cluster.JobRank, Cause: cfg.Ctx.Err()})
+			case <-m.done:
+			}
+		}()
+	}
 	return m, nil
 }
 
@@ -257,11 +359,15 @@ func (m *Machine) connect() error {
 		}
 	}()
 
-	// Dial every lower rank.
+	// Dial every lower rank, with jittered exponential backoff: the
+	// peer may still be starting, and a whole fleet redialing in
+	// lockstep (same launcher, same tick) only prolongs the contention.
 	wg.Add(1)
 	go func() {
 		defer wg.Done()
+		bo := NewBackoff(10*time.Millisecond, time.Second, uint64(m.rank)+1)
 		for dst := 0; dst < m.rank; dst++ {
+			bo.Reset()
 			var conn net.Conn
 			var err error
 			for {
@@ -269,7 +375,7 @@ func (m *Machine) connect() error {
 				if err == nil || time.Now().After(deadline) {
 					break
 				}
-				time.Sleep(50 * time.Millisecond)
+				time.Sleep(bo.Next())
 			}
 			if err != nil {
 				errCh <- fmt.Errorf("tcp: rank %d dial rank %d (%s): %w", m.rank, dst, m.cfg.Peers[dst], err)
@@ -305,44 +411,70 @@ func (m *Machine) registerPeer(rank int, conn net.Conn) {
 		tc.SetNoDelay(true)
 	}
 	pc := &peerConn{conn: conn, box: newMailbox()}
+	now := time.Now().UnixNano()
+	pc.lastHeard.Store(now)
+	pc.lastSent.Store(now)
+	// Published under the lock: an early-registered peer's readLoop can
+	// fail (and so walk every slot) while bring-up is still registering.
+	m.peersMu.Lock()
 	m.peers[rank] = pc
+	m.peersMu.Unlock()
+	m.bg.Add(1)
 	go m.readLoop(rank, pc)
 }
 
 // readLoop drains one peer's socket into its mailbox; it owns the read
 // side of the connection. Payload buffers come from the shared arena
 // and are owned by the consumer after delivery (RecycleRecv applies).
+// Every frame — data, goodbye, heartbeat, abort — counts as proof of
+// life for the peer.
 func (m *Machine) readLoop(src int, pc *peerConn) {
+	defer m.bg.Done()
 	var hdr [12]byte
 	for {
 		if _, err := io.ReadFull(pc.conn, hdr[:]); err != nil {
 			if !m.closed.Load() && !m.abortFlag.Load() && !pc.box.isClosed() {
-				m.fail(fmt.Errorf("tcp: rank %d lost rank %d: %w", m.rank, src, err))
+				m.fail(cluster.Abortedf(src, "tcp: rank %d lost rank %d: %w", m.rank, src, err))
 			}
 			return
 		}
+		pc.lastHeard.Store(time.Now().UnixNano())
 		tag := int(int32(binary.LittleEndian.Uint32(hdr[:4])))
-		if tag == tagClose {
+		size := binary.LittleEndian.Uint64(hdr[4:12])
+		var payload []byte
+		if size > 0 {
+			payload = bufpool.Get(int(size))
+			if _, err := io.ReadFull(pc.conn, payload); err != nil {
+				if !m.closed.Load() && !m.abortFlag.Load() {
+					m.fail(cluster.Abortedf(src, "tcp: rank %d lost rank %d mid-frame: %w", m.rank, src, err))
+				}
+				return
+			}
+		}
+		switch tag {
+		case tagHB:
+			// Liveness only; never delivered.
+			bufpool.Put(payload)
+		case tagClose:
 			// The peer is done; any frames it owed us are already in
 			// the mailbox (TCP is ordered), so a later empty wait on
 			// this peer is a genuine protocol error, not a race.
+			bufpool.Put(payload)
 			pc.box.close()
-			continue
+		case tagAbort:
+			culprit, cause := decodeAbort(payload, src)
+			bufpool.Put(payload)
+			m.fail(&cluster.ErrAborted{Rank: culprit, Cause: cause})
+		default:
+			m.enqueue(pc, frame{tag: tag, payload: payload})
 		}
-		size := binary.LittleEndian.Uint64(hdr[4:12])
-		payload := bufpool.Get(int(size))
-		if _, err := io.ReadFull(pc.conn, payload); err != nil {
-			if !m.closed.Load() && !m.abortFlag.Load() {
-				m.fail(fmt.Errorf("tcp: rank %d lost rank %d mid-frame: %w", m.rank, src, err))
-			}
-			return
-		}
-		pc.box.push(frame{tag: tag, payload: payload})
 	}
 }
 
 // Close says goodbye to every peer, then tears down connections,
-// listener and the store.
+// listener, background goroutines and the store. On return no
+// machine-owned goroutine is left running (the leak checks in the
+// tests pin this).
 func (m *Machine) Close() error {
 	for _, pc := range m.peers {
 		if pc != nil && pc.conn != nil && !m.closed.Load() && !m.abortFlag.Load() {
@@ -350,6 +482,7 @@ func (m *Machine) Close() error {
 		}
 	}
 	m.closed.Store(true)
+	m.stop()
 	for _, pc := range m.peers {
 		if pc != nil {
 			if pc.conn != nil {
@@ -361,10 +494,27 @@ func (m *Machine) Close() error {
 	if m.ln != nil {
 		m.ln.Close()
 	}
+	m.bg.Wait()
 	if m.node != nil {
 		return m.node.Vol.Store().Close()
 	}
 	return nil
+}
+
+// stop makes the background goroutines (liveness, ctx watcher) exit.
+func (m *Machine) stop() {
+	m.stopOnce.Do(func() { close(m.done) })
+}
+
+// snapshotPeers copies the peer table under the publication lock, for
+// walkers that may run while bring-up is still registering conns (the
+// abort fan-out paths). After connect returns the table is immutable.
+func (m *Machine) snapshotPeers() []*peerConn {
+	m.peersMu.Lock()
+	defer m.peersMu.Unlock()
+	out := make([]*peerConn, len(m.peers))
+	copy(out, m.peers)
+	return out
 }
 
 // Nodes returns the locally hosted PE contexts: exactly one.
@@ -383,13 +533,21 @@ func (m *Machine) Config() Config { return m.cfg }
 // so Run unwinds instead of hanging on a dead transport.
 type tcpAbort struct{}
 
+// fail records the first failure, fans the abort out to every peer and
+// wakes every blocked wait. Callers attribute: a lost or silent peer
+// fails with that peer's rank, a local bug with m.rank, a received
+// abort frame with the origin's attribution (abortOnce stops the frame
+// from echoing back and forth).
 func (m *Machine) fail(err error) {
 	m.abortOnce.Do(func() {
+		ae := cluster.AsAborted(m.rank, err)
 		m.abortMu.Lock()
-		m.abortErr = err
+		m.abortErr = ae
 		m.abortMu.Unlock()
 		m.abortFlag.Store(true)
-		for _, pc := range m.peers {
+		m.broadcastAbort(ae)
+		m.stop()
+		for _, pc := range m.snapshotPeers() {
 			if pc != nil {
 				pc.box.wakeAll()
 			}
@@ -397,13 +555,187 @@ func (m *Machine) fail(err error) {
 	})
 }
 
+// broadcastAbort sends the abort frame to every peer (best effort,
+// bounded: TryLock the write lane, short write deadline) and then
+// poisons every connection's write deadline so a sender stuck mid-write
+// to a wedged peer unwinds through its own deadline error.
+func (m *Machine) broadcastAbort(ae *cluster.ErrAborted) {
+	payload := encodeAbort(ae)
+	var hdr [12]byte
+	tag := int32(tagAbort)
+	binary.LittleEndian.PutUint32(hdr[:4], uint32(tag))
+	binary.LittleEndian.PutUint64(hdr[4:12], uint64(len(payload)))
+	for rank, pc := range m.snapshotPeers() {
+		if rank == m.rank || pc == nil || pc.conn == nil {
+			continue
+		}
+		if pc.wmu.TryLock() {
+			pc.conn.SetWriteDeadline(time.Now().Add(500 * time.Millisecond))
+			bufs := net.Buffers{hdr[:], payload}
+			bufs.WriteTo(pc.conn) // best effort: EOF peers learn via their read side
+			pc.wmu.Unlock()
+		}
+		// A writer holding wmu (or a later one) hits this deadline,
+		// observes abortFlag and unwinds instead of blocking forever on
+		// a full send buffer to a dead or wedged peer.
+		pc.conn.SetWriteDeadline(time.Now())
+	}
+}
+
+// encodeAbort frames an abort for the wire: int32 culprit rank, then
+// the cause string.
+func encodeAbort(ae *cluster.ErrAborted) []byte {
+	cause := "unknown cause"
+	if ae.Cause != nil {
+		cause = ae.Cause.Error()
+	}
+	b := make([]byte, 4+len(cause))
+	binary.LittleEndian.PutUint32(b[:4], uint32(int32(ae.Rank)))
+	copy(b[4:], cause)
+	return b
+}
+
+// decodeAbort parses an abort frame; a malformed frame is attributed
+// to the sender.
+func decodeAbort(payload []byte, src int) (culprit int, cause error) {
+	if len(payload) < 4 {
+		return src, fmt.Errorf("abort from rank %d (malformed frame)", src)
+	}
+	culprit = int(int32(binary.LittleEndian.Uint32(payload[:4])))
+	if culprit != cluster.JobRank && (culprit < 0 || culprit >= 1<<20) {
+		culprit = src
+	}
+	return culprit, fmt.Errorf("abort relayed by rank %d: %s", src, payload[4:])
+}
+
 func (m *Machine) failNow(err error) {
 	m.fail(err)
 	panic(tcpAbort{})
 }
 
+// Abort implements cluster.Machine: external job-level cancellation.
+// The local PE unwinds (Run returns *cluster.ErrAborted with Rank
+// cluster.JobRank) and the abort fans out to the peer processes.
+func (m *Machine) Abort(cause error) {
+	m.fail(&cluster.ErrAborted{Rank: cluster.JobRank, Cause: cause})
+}
+
+// Kill severs the machine abruptly: no goodbye, no abort broadcast,
+// connections dropped mid-protocol — to the peers this is exactly what
+// a SIGKILLed or segfaulted worker looks like. The fault-injection
+// plane uses it to make one in-process rank "crash"; after Kill the
+// machine is unusable and Close only releases local resources.
+func (m *Machine) Kill() {
+	m.closed.Store(true)
+	m.stop()
+	for _, pc := range m.snapshotPeers() {
+		if pc != nil {
+			if pc.conn != nil {
+				pc.conn.Close()
+			}
+			pc.box.wakeAll()
+		}
+	}
+	if m.ln != nil {
+		m.ln.Close()
+	}
+}
+
+// Wedge simulates a stuck-but-alive process: heartbeats stop flowing
+// out, connections stay open, reads keep draining. Peers blocked on
+// this rank detect it through HeartbeatTimeout. Fault injection only.
+func (m *Machine) Wedge() { m.wedged.Store(true) }
+
+// DropPeer abruptly closes the connection to one peer — the
+// deterministic form of a broken link. Both ends observe a lost conn
+// mid-protocol and abort attributing the other side.
+func (m *Machine) DropPeer(rank int) {
+	if rank < 0 || rank >= m.p || rank == m.rank {
+		return
+	}
+	if pc := m.peers[rank]; pc != nil && pc.conn != nil {
+		pc.conn.Close()
+	}
+}
+
+// MailboxPeakBytes implements cluster.MailboxStats: the high-water
+// mark of bytes queued undelivered across this PE's mailboxes.
+func (m *Machine) MailboxPeakBytes() int64 { return m.boxPeak.Load() }
+
+// liveness is the machine's background pulse: it periodically wakes
+// every mailbox waiter (giving blocked pops their deadline granularity
+// — sync.Cond has no timed wait) and heartbeats idle outbound conns so
+// silence is evidence. It never touches the clock or phase stats,
+// which belong to the PE goroutine.
+func (m *Machine) liveness() {
+	defer m.bg.Done()
+	hb := m.cfg.HeartbeatInterval
+	if hb <= 0 {
+		hb = 500 * time.Millisecond
+	}
+	wake := hb / 2
+	if wake < time.Millisecond {
+		wake = time.Millisecond
+	}
+	if wake > 250*time.Millisecond {
+		wake = 250 * time.Millisecond
+	}
+	t := time.NewTicker(wake)
+	defer t.Stop()
+	var lastHB time.Time
+	for {
+		select {
+		case <-m.done:
+			return
+		case now := <-t.C:
+			for _, pc := range m.peers {
+				if pc != nil {
+					pc.box.wakeAll()
+				}
+			}
+			if m.cfg.HeartbeatInterval < 0 || m.wedged.Load() {
+				continue
+			}
+			if now.Sub(lastHB) < hb {
+				continue
+			}
+			lastHB = now
+			m.sendHeartbeats(hb)
+		}
+	}
+}
+
+// sendHeartbeats writes one heartbeat frame to every peer whose
+// outbound lane has been idle for at least the interval. TryLock: if a
+// data frame is being written right now, that frame is the heartbeat.
+func (m *Machine) sendHeartbeats(interval time.Duration) {
+	var hdr [12]byte
+	tag := int32(tagHB)
+	binary.LittleEndian.PutUint32(hdr[:4], uint32(tag))
+	for rank, pc := range m.peers {
+		if rank == m.rank || pc == nil || pc.conn == nil {
+			continue
+		}
+		if time.Since(time.Unix(0, pc.lastSent.Load())) < interval {
+			continue
+		}
+		if !pc.wmu.TryLock() {
+			continue
+		}
+		pc.conn.SetWriteDeadline(time.Now().Add(interval))
+		_, err := pc.conn.Write(hdr[:])
+		pc.conn.SetWriteDeadline(time.Time{})
+		pc.lastSent.Store(time.Now().UnixNano())
+		pc.wmu.Unlock()
+		_ = err // a dead conn is the read side's discovery to make
+	}
+}
+
 // Run executes fn on the local PE (in the calling goroutine) and
-// returns its error, or the transport failure that unwound it.
+// returns its error, or the transport failure that unwound it. Any
+// failure — fn returning an error included — aborts the machine, so
+// the peers unwind too instead of blocking on a rank that has given
+// up.
 func (m *Machine) Run(fn func(*cluster.Node) error) (err error) {
 	defer func() {
 		if r := recover(); r != nil {
@@ -413,11 +745,24 @@ func (m *Machine) Run(fn func(*cluster.Node) error) (err error) {
 				m.abortMu.Unlock()
 				return
 			}
-			err = fmt.Errorf("tcp: PE %d panicked: %v", m.rank, r)
+			m.fail(cluster.AsAborted(m.rank, fmt.Errorf("tcp: PE %d panicked: %v", m.rank, r)))
+			m.abortMu.Lock()
+			err = m.abortErr
+			m.abortMu.Unlock()
 		}
 	}()
 	if err := fn(m.node); err != nil {
-		return fmt.Errorf("PE %d: %w", m.rank, err)
+		ae := cluster.AsAborted(m.rank, fmt.Errorf("PE %d: %w", m.rank, err))
+		m.fail(ae)
+		m.abortMu.Lock()
+		recorded := m.abortErr
+		m.abortMu.Unlock()
+		return recorded
+	}
+	if m.abortFlag.Load() {
+		m.abortMu.Lock()
+		defer m.abortMu.Unlock()
+		return m.abortErr
 	}
 	return nil
 }
@@ -469,9 +814,42 @@ func (b *mailbox) isClosed() bool {
 	return b.peerBye
 }
 
-func (b *mailbox) pop(m *Machine) (frame, bool) {
+func (b *mailbox) wakeAll() {
+	b.mu.Lock()
+	b.cond.Broadcast()
+	b.mu.Unlock()
+}
+
+// enqueue delivers a frame to a mailbox and charges the machine's
+// receive-side accounting, warn-logging once past the high-water mark.
+func (m *Machine) enqueue(pc *peerConn, f frame) {
+	pc.box.push(f)
+	total := m.boxBytes.Add(int64(len(f.payload)) + frameOverhead)
+	for {
+		peak := m.boxPeak.Load()
+		if total <= peak || m.boxPeak.CompareAndSwap(peak, total) {
+			break
+		}
+	}
+	if hw := m.cfg.MailboxHighWater; hw > 0 && total > hw && !m.hwWarned.Swap(true) {
+		log.Printf("tcp: rank %d: %d bytes queued undelivered in receive mailboxes (high-water mark %d) — this PE is falling behind its peers", m.rank, total, hw)
+	}
+}
+
+// popFrame blocks for the next frame from src, bounded by the failure
+// plane: the liveness goroutine re-wakes the wait periodically so a
+// silent peer (HeartbeatTimeout) or an overlong wait (OpTimeout) fails
+// the machine instead of blocking forever.
+func (m *Machine) popFrame(src int) (frame, bool) {
+	pc := m.peers[src]
+	b := pc.box
+	start := time.Now()
 	b.mu.Lock()
 	for b.head == len(b.q) && !b.peerBye && !m.abortFlag.Load() && !m.closed.Load() {
+		if err := m.stalled(src, pc, start); err != nil {
+			b.mu.Unlock()
+			m.failNow(err)
+		}
 		b.cond.Wait()
 	}
 	if b.head == len(b.q) {
@@ -495,20 +873,40 @@ func (b *mailbox) pop(m *Machine) (frame, bool) {
 		b.head = 0
 	}
 	b.mu.Unlock()
+	m.boxBytes.Add(-int64(len(f.payload)) - frameOverhead)
 	return f, true
 }
 
-func (b *mailbox) wakeAll() {
-	b.mu.Lock()
-	b.cond.Broadcast()
-	b.mu.Unlock()
+// stalled decides whether a blocked receive from src has outlived the
+// failure plane's bounds. Self-messages only face OpTimeout (there is
+// no liveness question about this process).
+func (m *Machine) stalled(src int, pc *peerConn, start time.Time) error {
+	now := time.Now()
+	if ot := m.cfg.OpTimeout; ot > 0 && now.Sub(start) > ot {
+		return cluster.Abortedf(src, "tcp: rank %d: receive from rank %d exceeded the %v op deadline", m.rank, src, ot)
+	}
+	if src != m.rank {
+		if ht := m.cfg.HeartbeatTimeout; ht > 0 {
+			if silent := now.Sub(time.Unix(0, pc.lastHeard.Load())); silent > ht {
+				return cluster.Abortedf(src, "tcp: rank %d: rank %d silent for %v (heartbeat timeout %v) — presumed dead or wedged",
+					m.rank, src, silent.Round(time.Millisecond), ht)
+			}
+		}
+	}
+	return nil
 }
 
 // sendFrame writes one frame to dst (self-delivery bypasses the
-// network and the byte counters, matching the sim backend).
+// network and the byte counters, matching the sim backend). Writes are
+// bounded by OpTimeout so a wedged receiver with a full socket buffer
+// cannot block this rank forever; an abort elsewhere poisons the write
+// deadline and unwinds the sender immediately.
 func (m *Machine) sendFrame(dst, tag int, payload []byte) {
+	if m.abortFlag.Load() {
+		panic(tcpAbort{})
+	}
 	if dst == m.rank {
-		m.peers[m.rank].box.push(frame{tag: tag, payload: payload})
+		m.enqueue(m.peers[m.rank], frame{tag: tag, payload: payload})
 		return
 	}
 	pc := m.peers[dst]
@@ -520,10 +918,20 @@ func (m *Machine) sendFrame(dst, tag int, payload []byte) {
 		bufs = bufs[:1]
 	}
 	pc.wmu.Lock()
+	if ot := m.cfg.OpTimeout; ot > 0 {
+		pc.conn.SetWriteDeadline(time.Now().Add(ot))
+	}
 	_, err := bufs.WriteTo(pc.conn)
+	if err == nil {
+		pc.conn.SetWriteDeadline(time.Time{})
+	}
+	pc.lastSent.Store(time.Now().UnixNano())
 	pc.wmu.Unlock()
 	if err != nil {
-		m.failNow(fmt.Errorf("tcp: rank %d send to %d: %w", m.rank, dst, err))
+		if m.abortFlag.Load() {
+			panic(tcpAbort{}) // the abort path poisoned this write
+		}
+		m.failNow(cluster.Abortedf(dst, "tcp: rank %d send to %d: %w", m.rank, dst, err))
 	}
 	st := m.clock.Cur()
 	st.BytesSent += int64(len(payload))
@@ -532,17 +940,16 @@ func (m *Machine) sendFrame(dst, tag int, payload []byte) {
 // recvFrame blocks for the next frame from src and enforces the tag
 // protocol; the wait is charged as network time.
 func (m *Machine) recvFrame(src, tag int) []byte {
-	box := m.peers[src].box
 	t0 := time.Now()
-	f, ok := box.pop(m)
+	f, ok := m.popFrame(src)
 	if !ok {
 		if m.abortFlag.Load() {
 			panic(tcpAbort{})
 		}
-		m.failNow(fmt.Errorf("tcp: rank %d waiting on rank %d, which has shut down", m.rank, src))
+		m.failNow(cluster.Abortedf(src, "tcp: rank %d waiting on rank %d, which has shut down", m.rank, src))
 	}
 	if f.tag != tag {
-		m.failNow(fmt.Errorf("tcp: rank %d expected tag %d from %d, got %d", m.rank, tag, src, f.tag))
+		m.failNow(cluster.Abortedf(m.rank, "tcp: rank %d expected tag %d from %d, got %d", m.rank, tag, src, f.tag))
 	}
 	st := m.clock.Cur()
 	st.NetTime += time.Since(t0).Seconds()
@@ -868,7 +1275,8 @@ func (s *wallStats) Stats() (names []string, stats map[string]*vtime.PhaseStats)
 
 // Interface conformance.
 var (
-	_ cluster.Machine   = (*Machine)(nil)
-	_ cluster.Transport = (*Machine)(nil)
-	_ cluster.Stats     = (*wallStats)(nil)
+	_ cluster.Machine      = (*Machine)(nil)
+	_ cluster.Transport    = (*Machine)(nil)
+	_ cluster.MailboxStats = (*Machine)(nil)
+	_ cluster.Stats        = (*wallStats)(nil)
 )
