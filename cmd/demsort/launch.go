@@ -25,6 +25,7 @@ import (
 	"sync"
 	"time"
 
+	"demsort/internal/blockio"
 	"demsort/internal/cluster/tcp"
 	"demsort/internal/sortbench"
 )
@@ -52,6 +53,11 @@ type launchParams struct {
 	store     string
 	workdir   string
 	fault     string
+	restart   int    // launcher: fleet restarts left after a failure
+	resume    bool   // rebuild state from committed manifests
+	durable   bool   // commit phase checkpoints (implies surviving spill files)
+	jobid     string // job identity (manifests + tcp handshake)
+	epoch     int    // fleet incarnation number
 }
 
 // workerArgs renders the demsort worker command line for one rank.
@@ -67,8 +73,15 @@ func (lp launchParams) workerArgs(rank int, peers []string) []string {
 		fmt.Sprintf("-randomize=%v", lp.randomize),
 		"-store", lp.store,
 	}
+	args = append(args, "-jobid", lp.jobid, "-epoch", fmt.Sprint(lp.epoch))
 	if lp.striped {
 		args = append(args, "-striped")
+	}
+	if lp.durable {
+		args = append(args, "-durable")
+	}
+	if lp.resume {
+		args = append(args, "-resume")
 	}
 	if lp.workdir != "" {
 		args = append(args, "-workdir", lp.workdir)
@@ -251,6 +264,26 @@ func runLauncher(p int, lp launchParams, hostfilePath string, basePort int, sshC
 	if lp.store == "file" && lp.workdir == "" {
 		lp.workdir = filepath.Join(lp.outdir, "work")
 	}
+	// Restartable jobs checkpoint from the first incarnation on (a
+	// restart can only resume what a previous incarnation committed);
+	// ram-backed or striped fleets restart from scratch instead.
+	if lp.restart > 0 && lp.store == "file" && !lp.striped {
+		lp.durable = true
+	}
+	// Standalone `demsort -resume`: adopt the on-disk job — scan the
+	// surviving manifests and come back one epoch above the newest.
+	if lp.resume {
+		maxEpoch := -1
+		for rank := 0; rank < p; rank++ {
+			if man, err := blockio.LoadManifest(lp.workdir, rank); err == nil && man.Epoch > maxEpoch {
+				maxEpoch = man.Epoch
+			}
+		}
+		if lp.epoch <= maxEpoch {
+			lp.epoch = maxEpoch + 1
+		}
+		fmt.Printf("resuming job %q from %s at epoch %d\n", lp.jobid, lp.workdir, lp.epoch)
+	}
 
 	var placements []tcp.Placement
 	if hostfilePath != "" {
@@ -310,6 +343,24 @@ func runLauncher(p int, lp launchParams, hostfilePath string, basePort int, sshC
 			wait := backoff.Next()
 			fmt.Fprintf(os.Stderr, "retrying with fresh ports in %v\n", wait.Round(time.Millisecond))
 			time.Sleep(wait)
+			continue
+		}
+		// Worker death with restarts left: re-drive the job as a new
+		// incarnation. A durable fleet resumes from the last committed
+		// phase on the surviving workdir; otherwise it starts over. The
+		// fault spec is not re-armed — it modelled the crash that
+		// already happened, and a deterministic fault would just kill
+		// the replacement fleet at the same call.
+		if lp.restart > 0 {
+			lp.restart--
+			lp.epoch++
+			lp.fault = ""
+			if lp.durable {
+				lp.resume = true
+				fmt.Printf("re-admitting workers at job epoch %d (resuming from last committed phase)\n", lp.epoch)
+			} else {
+				fmt.Printf("restarting job from scratch at job epoch %d\n", lp.epoch)
+			}
 			continue
 		}
 		fmt.Fprintf(os.Stderr, "fleet failed: %v\n", firstErr)

@@ -60,6 +60,7 @@ import (
 	"os"
 	"path/filepath"
 	"strings"
+	"sync/atomic"
 	"time"
 
 	demsort "demsort"
@@ -95,6 +96,11 @@ func main() {
 	rank := flag.Int("rank", -1, "this process's PE rank (tcp worker mode; -1 = launch workers)")
 	peers := flag.String("peers", "", "comma-separated host:port listen addresses, one per rank (tcp)")
 	faultSpec := flag.String("fault", "", "deterministic fault injection, e.g. rank=2,action=die,op=AllToAllv,phase=all-to-all (see internal/cluster/faulty)")
+	restart := flag.Int("restart", 0, "launcher: restart the fleet up to N times after a worker failure (resuming from the last committed phase when -store=file)")
+	resume := flag.Bool("resume", false, "resume a job from the committed manifests in -workdir instead of re-reading input")
+	durable := flag.Bool("durable", false, "commit phase checkpoints (durable spill files + per-rank manifests in -workdir)")
+	jobid := flag.String("jobid", "demsort", "job identity carried in manifests and the tcp handshake")
+	epoch := flag.Int("epoch", 0, "fleet incarnation number (set by the launcher on restarts)")
 	flag.Parse()
 
 	if *store != "ram" && *store != "file" {
@@ -112,9 +118,20 @@ func main() {
 		store:     *store,
 		workdir:   *workdir,
 		fault:     *faultSpec,
+		restart:   *restart,
+		resume:    *resume,
+		durable:   *durable || *resume,
+		jobid:     *jobid,
+		epoch:     *epoch,
 	}
 	if _, err := faulty.ParseSpec(lp.fault); err != nil {
 		fail(err)
+	}
+	if lp.durable && lp.store != "file" {
+		fail(fmt.Errorf("demsort: -durable/-resume need -store=file (checkpoints describe on-disk blocks)"))
+	}
+	if lp.durable && lp.striped {
+		fail(fmt.Errorf("demsort: -durable/-resume are not supported with -striped (the striped sorter has no checkpoint plane)"))
 	}
 	switch *transport {
 	case "sim":
@@ -137,21 +154,46 @@ func main() {
 	}
 }
 
+// resolveWorkdir pins the spill directory of a file-backed run: the
+// -workdir flag, else <outdir>/work, else a per-process temp dir.
+func (lp *launchParams) resolveWorkdir() string {
+	if lp.workdir == "" {
+		if lp.outdir != "" {
+			lp.workdir = filepath.Join(lp.outdir, "work")
+		} else {
+			lp.workdir = filepath.Join(os.TempDir(), fmt.Sprintf("demsort-work-%d", os.Getpid()))
+		}
+	}
+	return lp.workdir
+}
+
 // newStoreFactory maps the -store/-workdir flags to a per-rank block
-// store constructor (nil = the default RAM store).
+// store constructor (nil = the default RAM store). Durable runs get
+// stores whose spill files survive Close-on-abort, the substrate the
+// checkpoint manifests describe.
 func newStoreFactory(lp launchParams) func(rank int) (blockio.Store, error) {
 	if lp.store != "file" {
 		return nil
 	}
-	dir := lp.workdir
-	if dir == "" {
-		if lp.outdir != "" {
-			dir = filepath.Join(lp.outdir, "work")
-		} else {
-			dir = filepath.Join(os.TempDir(), fmt.Sprintf("demsort-work-%d", os.Getpid()))
-		}
+	dir := lp.resolveWorkdir()
+	if lp.durable {
+		return blockio.DurableFileStoreFactory(dir, lp.block)
 	}
 	return blockio.FileStoreFactory(dir, lp.block)
+}
+
+// checkpoint renders the durable-run flags as a core checkpoint config
+// (zero value when the run is not durable).
+func (lp launchParams) checkpoint() demsort.CheckpointOptions {
+	if !lp.durable {
+		return demsort.CheckpointOptions{}
+	}
+	return demsort.CheckpointOptions{
+		Dir:    lp.resolveWorkdir(),
+		JobID:  lp.jobid,
+		Epoch:  lp.epoch,
+		Resume: lp.resume,
+	}
 }
 
 // ---------------------------------------------------------------------
@@ -227,15 +269,24 @@ func (p *partFile) Write(b []byte) error {
 	return err
 }
 
-// Close flushes and atomically publishes the part file.
+// Close flushes, fsyncs and atomically publishes the part file:
+// contents are durable before the rename and the rename is durable
+// before Close returns (directory fsync), so a published partition
+// survives a host crash — the same discipline as checkpoint manifests.
 func (p *partFile) Close() error {
 	if err := p.w.Flush(); err != nil {
+		return err
+	}
+	if err := p.f.Sync(); err != nil {
 		return err
 	}
 	if err := p.f.Close(); err != nil {
 		return err
 	}
-	return os.Rename(p.path+".tmp", p.path)
+	if err := os.Rename(p.path+".tmp", p.path); err != nil {
+		return err
+	}
+	return blockio.SyncDir(filepath.Dir(p.path))
 }
 
 // partSummary re-reads a published part file and valsorts it, O(1)
@@ -347,6 +398,7 @@ func runRecordsSim(p int, lp launchParams) {
 		opts.NewStore = newStoreFactory(lp)
 		opts.Source = lp.source()
 		opts.Sink = sinks.sink
+		opts.Checkpoint = lp.checkpoint()
 		res, err := demsort.Sort[elem.Rec100](demsort.Rec100Codec{}, opts, nil)
 		fail(err)
 		fmt.Printf("CanonicalMergeSort[records]: P=%d N=%d (R=%d runs, k=%d sub-operations)\n",
@@ -371,6 +423,8 @@ func runTCPWorker(rank int, peers []string, lp launchParams) {
 		BlockBytes: lp.block,
 		MemElems:   lp.mem,
 		NewStore:   newStoreFactory(lp),
+		JobID:      lp.jobid,
+		Epoch:      lp.epoch,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
@@ -407,6 +461,11 @@ func runTCPWorker(rank int, peers []string, lp launchParams) {
 		sink = func(_ int, b []byte) error { return part.Write(b) }
 	}
 
+	// The instrumented Source: every byte the sort pulls from the input
+	// goes through this counter, so a resumed run can prove it re-read
+	// nothing (the resume acceptance test greps the line below).
+	src, readBytes := countingSource(lp.source())
+
 	start := time.Now()
 	var phaseNames []string
 	var perPE map[string]*vtime.PhaseStats
@@ -414,7 +473,7 @@ func runTCPWorker(rank int, peers []string, lp launchParams) {
 	if lp.striped {
 		opts := stripedRecordOptions(p, lp.mem, lp.block, lp.seed, lp.randomize)
 		opts.Machine = m
-		opts.Source = lp.source()
+		opts.Source = src
 		opts.Sink = sink
 		res, err := demsort.SortStriped[elem.Rec100](demsort.Rec100Codec{}, opts, nil)
 		fail(err)
@@ -426,8 +485,9 @@ func runTCPWorker(rank int, peers []string, lp launchParams) {
 	} else {
 		opts := recordOptions(p, lp.mem, lp.block, lp.seed, lp.randomize)
 		opts.Machine = m
-		opts.Source = lp.source()
+		opts.Source = src
 		opts.Sink = sink
+		opts.Checkpoint = lp.checkpoint()
 		res, err := demsort.Sort[elem.Rec100](demsort.Rec100Codec{}, opts, nil)
 		fail(err)
 		phaseNames, perPE = res.PhaseNames, res.PerPE[rank]
@@ -439,10 +499,39 @@ func runTCPWorker(rank int, peers []string, lp launchParams) {
 
 	var phases []string
 	for _, ph := range phaseNames {
-		phases = append(phases, fmt.Sprintf("%s %.3fs", ph, perPE[ph].Wall))
+		// A resumed run never entered the committed phases, so they
+		// have no stats entry.
+		if st := perPE[ph]; st != nil {
+			phases = append(phases, fmt.Sprintf("%s %.3fs", ph, st.Wall))
+		}
 	}
+	fmt.Printf("rank %d: read %d input bytes\n", rank, readBytes.Load())
 	fmt.Printf("rank %d: %d records in %.3fs (%s)\n",
 		rank, outLen, time.Since(start).Seconds(), strings.Join(phases, " | "))
+}
+
+// countingSource wraps a Source so every byte actually read from the
+// input is tallied — the evidence behind "resume re-reads nothing".
+func countingSource(src func(rank int) (io.Reader, int64, error)) (func(rank int) (io.Reader, int64, error), *atomic.Int64) {
+	var n atomic.Int64
+	return func(rank int) (io.Reader, int64, error) {
+		r, cnt, err := src(rank)
+		if err != nil {
+			return nil, 0, err
+		}
+		return &countingReader{r: r, n: &n}, cnt, nil
+	}, &n
+}
+
+type countingReader struct {
+	r io.Reader
+	n *atomic.Int64
+}
+
+func (c *countingReader) Read(p []byte) (int, error) {
+	n, err := c.r.Read(p)
+	c.n.Add(int64(n))
+	return n, err
 }
 
 // ---------------------------------------------------------------------

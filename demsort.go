@@ -69,6 +69,10 @@ type Options = core.Config
 // StripedOptions configures the Section III algorithm.
 type StripedOptions = stripesort.Config
 
+// CheckpointOptions configures the durable checkpoint/restart plane
+// (Options.Checkpoint); it is core.CheckpointConfig re-exported.
+type CheckpointOptions = core.CheckpointConfig
+
 // Result carries per-phase measurements and (optionally) the output.
 type Result[T any] = core.Result[T]
 

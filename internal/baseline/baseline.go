@@ -16,6 +16,7 @@ package baseline
 
 import (
 	"fmt"
+	"io"
 	"math/rand/v2"
 	"sort"
 
@@ -23,6 +24,7 @@ import (
 	"demsort/internal/bufpool"
 	"demsort/internal/cluster"
 	"demsort/internal/cluster/sim"
+	"demsort/internal/core"
 	"demsort/internal/elem"
 	"demsort/internal/pq"
 	"demsort/internal/psort"
@@ -46,6 +48,17 @@ type Config struct {
 	RealWorkers int
 	KeepOutput  bool
 	Model       vtime.CostModel
+	// Source/Sink stream each rank's input and sorted output as encoded
+	// element bytes, block-at-a-time — the same contract as
+	// core.Config.Source/Sink, and the reason the NOW-Sort comparison
+	// can run at out-of-core sizes: neither the tile nor the partition
+	// is ever resident in RAM. With Source set the input argument of
+	// SampleSort must be nil.
+	Source func(rank int) (io.Reader, int64, error)
+	Sink   func(rank int, encoded []byte) error
+	// NewStore optionally overrides the per-PE block store (e.g.
+	// file-backed); nil uses RAM-backed stores.
+	NewStore func(rank int) (blockio.Store, error)
 	// Machine optionally supplies a pre-built transport backend; nil
 	// builds a cluster/sim machine (see core.Config.Machine).
 	Machine cluster.Machine
@@ -118,8 +131,14 @@ func (r *Result[T]) Imbalance() float64 {
 // SampleSort runs the NOW-Sort-style distribution sort on the
 // simulated cluster.
 func SampleSort[T any](c elem.Codec[T], cfg Config, input [][]T) (*Result[T], error) {
-	if cfg.P < 1 || len(input) != cfg.P {
-		return nil, fmt.Errorf("baseline: bad machine size or input shape")
+	if cfg.P < 1 {
+		return nil, fmt.Errorf("baseline: bad machine size")
+	}
+	if cfg.Source == nil && len(input) != cfg.P {
+		return nil, fmt.Errorf("baseline: input has %d PE slices, machine has %d PEs", len(input), cfg.P)
+	}
+	if cfg.Source != nil && input != nil {
+		return nil, fmt.Errorf("baseline: Source and input slices are mutually exclusive")
 	}
 	if cfg.Model == (vtime.CostModel{}) {
 		cfg.Model = vtime.Default()
@@ -136,10 +155,16 @@ func SampleSort[T any](c elem.Codec[T], cfg Config, input [][]T) (*Result[T], er
 		return nil, fmt.Errorf("baseline: block smaller than an element")
 	}
 
+	sources, sourceN, err := core.OpenSources(cfg.Source, cfg.Machine, cfg.P)
+	if err != nil {
+		return nil, fmt.Errorf("baseline: %w", err)
+	}
+
 	m := cfg.Machine
 	if m == nil {
 		sm, err := sim.New(sim.Config{
 			P: cfg.P, BlockBytes: cfg.BlockBytes, MemElems: cfg.MemElems, Model: cfg.Model,
+			NewStore: cfg.NewStore,
 		})
 		if err != nil {
 			return nil, err
@@ -165,21 +190,38 @@ func SampleSort[T any](c elem.Codec[T], cfg Config, input [][]T) (*Result[T], er
 		res.Output = make([][]T, cfg.P)
 	}
 
-	err := m.Run(func(n *cluster.Node) error {
-		my := input[n.Rank]
-		// Load input to disk (unmeasured), block-aligned.
+	err = m.Run(func(n *cluster.Node) error {
+		// Load input to disk (unmeasured), block-aligned. A Source
+		// streams the encoded tile straight onto the volume through
+		// FillFrom's one staging chunk; a slice input is encoded
+		// block-at-a-time as before.
 		n.SetPhase("load")
 		var blocks []blockio.BlockID
 		var blockLens []int
-		for off := 0; off < len(my); off += bElem {
-			hi := off + bElem
-			if hi > len(my) {
-				hi = len(my)
+		var myN int64
+		if cfg.Source != nil {
+			myN = sourceN[n.Rank]
+			spans, err := n.Vol.FillFrom(sources[n.Rank], myN*int64(sz), cfg.BlockBytes)
+			if err != nil {
+				return fmt.Errorf("baseline: input source, rank %d: %w", n.Rank, err)
 			}
-			id := n.Vol.Alloc()
-			n.Vol.WriteAsync(id, elem.EncodeSlice(c, my[off:hi]))
-			blocks = append(blocks, id)
-			blockLens = append(blockLens, hi-off)
+			for _, sp := range spans {
+				blocks = append(blocks, sp.ID)
+				blockLens = append(blockLens, sp.Bytes/sz)
+			}
+		} else {
+			my := input[n.Rank]
+			myN = int64(len(my))
+			for off := 0; off < len(my); off += bElem {
+				hi := off + bElem
+				if hi > len(my) {
+					hi = len(my)
+				}
+				id := n.Vol.Alloc()
+				n.Vol.WriteAsync(id, elem.EncodeSlice(c, my[off:hi]))
+				blocks = append(blocks, id)
+				blockLens = append(blockLens, hi-off)
+			}
 		}
 		n.Vol.Drain()
 		n.Barrier()
@@ -190,7 +232,7 @@ func SampleSort[T any](c elem.Codec[T], cfg Config, input [][]T) (*Result[T], er
 		rng := rand.New(rand.NewPCG(cfg.Seed, uint64(n.Rank)+0xBA5E))
 		sample := make([]T, 0, cfg.Oversample)
 		raw := make([]byte, cfg.BlockBytes)
-		for i := 0; i < cfg.Oversample && len(my) > 0; i++ {
+		for i := 0; i < cfg.Oversample && myN > 0; i++ {
 			b := int(rng.Uint64N(uint64(len(blocks))))
 			n.Vol.ReadWait(blocks[b], raw[:blockLens[b]*sz])
 			j := int(rng.Uint64N(uint64(blockLens[b])))
@@ -371,19 +413,27 @@ func mergeRuns[T any](c elem.Codec[T], n *cluster.Node, cfg Config, runs [][]blo
 	}
 	lt := pq.NewKeyTree(len(runs), keys, live, tie)
 	outBuf := make([]T, 0, bElem)
-	flush := func() {
+	flush := func() error {
 		if len(outBuf) == 0 {
-			return
+			return nil
 		}
 		id := n.Vol.Alloc()
 		enc := bufpool.Get(len(outBuf) * sz)
 		elem.EncodeInto(c, enc, outBuf)
+		// The Sink sees each output block exactly once, in order, before
+		// the buffer is handed to the async write (the slice is only
+		// valid for the duration of the call — same contract as core).
+		var sinkErr error
+		if cfg.Sink != nil {
+			sinkErr = cfg.Sink(n.Rank, enc)
+		}
 		n.Vol.WriteAsync(id, enc)
 		bufpool.Put(enc)
 		if cfg.KeepOutput {
 			out = append(out, outBuf...)
 		}
 		outBuf = outBuf[:0]
+		return sinkErr
 	}
 	for !lt.Empty() {
 		i := lt.Win()
@@ -391,7 +441,9 @@ func mergeRuns[T any](c elem.Codec[T], n *cluster.Node, cfg Config, runs [][]blo
 		outBuf = append(outBuf, s.cur[s.pos])
 		s.pos++
 		if len(outBuf) == bElem {
-			flush()
+			if err := flush(); err != nil {
+				return nil, fmt.Errorf("baseline: output sink, rank %d: %w", n.Rank, err)
+			}
 			n.AddCPU(cfg.Model.MergeCPU(int64(bElem), len(runs)) + cfg.Model.ScanCPU(int64(bElem)))
 		}
 		if s.pos < len(s.cur) {
@@ -402,7 +454,9 @@ func mergeRuns[T any](c elem.Codec[T], n *cluster.Node, cfg Config, runs [][]blo
 			lt.Retire()
 		}
 	}
-	flush()
+	if err := flush(); err != nil {
+		return nil, fmt.Errorf("baseline: output sink, rank %d: %w", n.Rank, err)
+	}
 	return out, nil
 }
 

@@ -1,6 +1,9 @@
 package baseline
 
 import (
+	"bytes"
+	"io"
+	"sync"
 	"testing"
 
 	"demsort/internal/elem"
@@ -121,5 +124,52 @@ func TestSampleSortImbalanceInflatesTime(t *testing.T) {
 	}
 	if !(hres.TotalWall() > 1.5*ures.TotalWall()) {
 		t.Errorf("hot-key %.4fs vs uniform %.4fs — expected skew collapse", hres.TotalWall(), ures.TotalWall())
+	}
+}
+
+// TestSampleSortSourceSinkMatchesSlices: the streaming plane must be a
+// pure transport change — a Source/Sink run produces exactly the bytes
+// of the slice-fed run, rank for rank, and reports the same part sizes.
+func TestSampleSortSourceSinkMatchesSlices(t *testing.T) {
+	const p = 4
+	input := workload.Generate(workload.Uniform, p, 4000, 9)
+
+	ref, err := SampleSort[elem.KV16](kvc, testConfig(p), input)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	cfg := testConfig(p)
+	cfg.KeepOutput = false
+	cfg.Source = func(rank int) (io.Reader, int64, error) {
+		return bytes.NewReader(elem.EncodeSlice(kvc, input[rank])), int64(len(input[rank])), nil
+	}
+	got := make([][]byte, p)
+	var mu sync.Mutex
+	cfg.Sink = func(rank int, b []byte) error {
+		mu.Lock()
+		got[rank] = append(got[rank], b...)
+		mu.Unlock()
+		return nil
+	}
+	res, err := SampleSort[elem.KV16](kvc, cfg, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for rank := 0; rank < p; rank++ {
+		if !bytes.Equal(got[rank], elem.EncodeSlice(kvc, ref.Output[rank])) {
+			t.Fatalf("rank %d: streamed output differs from the slice-fed run", rank)
+		}
+		if res.PartSizes[rank] != ref.PartSizes[rank] {
+			t.Fatalf("rank %d: part size %d vs %d", rank, res.PartSizes[rank], ref.PartSizes[rank])
+		}
+	}
+
+	// The contract is exclusive: Source plus slice input is a config
+	// error, not a silent preference.
+	bad := testConfig(p)
+	bad.Source = cfg.Source
+	if _, err := SampleSort[elem.KV16](kvc, bad, input); err == nil {
+		t.Fatal("SampleSort accepted both a Source and slice input")
 	}
 }

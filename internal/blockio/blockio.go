@@ -11,6 +11,7 @@ import (
 	"io"
 	"os"
 	"path/filepath"
+	"sort"
 	"sync"
 
 	"demsort/internal/bufpool"
@@ -96,18 +97,33 @@ func (s *MemStore) Close() error {
 type FileStore struct {
 	f          *os.File
 	blockBytes int
+	keep       bool            // durable mode: survive Close (checkpoint/restart)
 	lens       map[BlockID]int // actual stored length per block
 	mu         sync.Mutex
 }
 
 // NewFileStore creates (truncating) a file-backed store at path with
-// the given block capacity in bytes.
+// the given block capacity in bytes. The file is removed on Close — a
+// transient spill store.
 func NewFileStore(path string, blockBytes int) (*FileStore, error) {
 	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE|os.O_TRUNC, 0o644)
 	if err != nil {
 		return nil, fmt.Errorf("blockio: %w", err)
 	}
 	return &FileStore{f: f, blockBytes: blockBytes, lens: map[BlockID]int{}}, nil
+}
+
+// NewDurableFileStore opens (creating if absent, never truncating) a
+// file-backed store whose file survives Close — the adopt/keep mode of
+// the checkpoint/restart plane. A fresh store starts with no readable
+// blocks; a store adopted after a crash recovers its block layout from
+// the rank's manifest via SetBlockLens.
+func NewDurableFileStore(path string, blockBytes int) (*FileStore, error) {
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("blockio: %w", err)
+	}
+	return &FileStore{f: f, blockBytes: blockBytes, keep: true, lens: map[BlockID]int{}}, nil
 }
 
 // ReadAt implements Store.
@@ -141,13 +157,49 @@ func (s *FileStore) WriteAt(id BlockID, src []byte) error {
 	return nil
 }
 
-// Close implements Store.
+// Close implements Store. Transient stores remove their file; durable
+// ones (NewDurableFileStore) sync and keep it, so spilled data survives
+// a Close-on-abort and a restarted rank can adopt it.
 func (s *FileStore) Close() error {
+	if s.keep {
+		s.f.Sync() // best effort: Close-on-abort must not mask the abort
+		return s.f.Close()
+	}
 	name := s.f.Name()
 	if err := s.f.Close(); err != nil {
 		return err
 	}
 	return os.Remove(name)
+}
+
+// Sync flushes the backing file to stable storage — called before a
+// checkpoint manifest is committed, so the manifest never describes
+// blocks that are not durably on disk.
+func (s *FileStore) Sync() error { return s.f.Sync() }
+
+// BlockLens snapshots the per-block stored lengths (the block layout a
+// checkpoint manifest records), in ascending BlockID order.
+func (s *FileStore) BlockLens() []BlockLen {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]BlockLen, 0, len(s.lens))
+	for id, n := range s.lens {
+		out = append(out, BlockLen{ID: int64(id), Bytes: n})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// SetBlockLens restores the block layout of an adopted store from its
+// manifest, replacing whatever the store knew before.
+func (s *FileStore) SetBlockLens(lens []BlockLen) {
+	m := make(map[BlockID]int, len(lens))
+	for _, l := range lens {
+		m[BlockID(l.ID)] = l.Bytes
+	}
+	s.mu.Lock()
+	s.lens = m
+	s.mu.Unlock()
 }
 
 // FileStoreFactory returns a per-rank store constructor that backs
@@ -163,6 +215,20 @@ func FileStoreFactory(dir string, blockBytes int) func(rank int) (Store, error) 
 			return nil, fmt.Errorf("blockio: spill dir: %w", err)
 		}
 		return NewFileStore(filepath.Join(dir, fmt.Sprintf("rank-%03d.blocks", rank)), blockBytes)
+	}
+}
+
+// DurableFileStoreFactory is FileStoreFactory's adopt/keep counterpart
+// for checkpointed jobs: block files are created if absent, adopted if
+// present, and always survive Close. Resumed ranks recover the block
+// layout from their manifest (core restores it via SetBlockLens); a
+// fresh run simply overwrites from block 0.
+func DurableFileStoreFactory(dir string, blockBytes int) func(rank int) (Store, error) {
+	return func(rank int) (Store, error) {
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			return nil, fmt.Errorf("blockio: spill dir: %w", err)
+		}
+		return NewDurableFileStore(filepath.Join(dir, fmt.Sprintf("rank-%03d.blocks", rank)), blockBytes)
 	}
 }
 
@@ -290,6 +356,45 @@ func (v *Volume) Drain() { v.clock.AdvanceTo(v.disk.BusyUntil()) }
 // Store exposes the underlying store (used when relabelling blocks
 // between logical files without I/O).
 func (v *Volume) Store() Store { return v.store }
+
+// AllocState snapshots the allocator — the next unallocated BlockID
+// and the current free list — for a checkpoint manifest.
+func (v *Volume) AllocState() (next int64, freeList []int64) {
+	free := make([]int64, len(v.freeList))
+	for i, id := range v.freeList {
+		free[i] = int64(id)
+	}
+	return int64(v.next), free
+}
+
+// RestoreAlloc rewinds the allocator to a checkpointed state: every id
+// below next is live unless it is on the free list. Blocks written
+// after the checkpoint become unreferenced file garbage, which a
+// resumed run simply overwrites.
+func (v *Volume) RestoreAlloc(next int64, freeList []int64) {
+	v.next = BlockID(next)
+	v.freeList = v.freeList[:0]
+	for _, id := range freeList {
+		v.freeList = append(v.freeList, BlockID(id))
+	}
+	v.used = next - int64(len(freeList))
+	if v.used > v.peakUsed {
+		v.peakUsed = v.used
+	}
+}
+
+// syncer is the optional durability hook of a Store (FileStore's
+// fsync); SyncStore is a no-op on stores without one.
+type syncer interface{ Sync() error }
+
+// SyncStore flushes the underlying store to stable storage if it
+// supports it — the write barrier before a checkpoint commit.
+func (v *Volume) SyncStore() error {
+	if s, ok := v.store.(syncer); ok {
+		return s.Sync()
+	}
+	return nil
+}
 
 // Span is one block filled by FillFrom: block ID holds Bytes bytes.
 type Span struct {

@@ -101,12 +101,43 @@ func (f Fault) String() string {
 	return s
 }
 
+// KnownOps lists the Transport methods a Fault's Op can intercept —
+// the complete trigger surface of this package.
+var KnownOps = []string{
+	"Barrier", "AllToAllv", "AllGather", "Bcast", "AllReduceInt64",
+	"ExchangeAny", "Send", "Recv",
+}
+
+// KnownPhases lists every phase name the sorters announce via
+// SetPhase — the values a Fault's Phase can match. A spec naming an
+// unknown phase would silently never fire, so ParseSpec rejects it.
+var KnownPhases = []string{
+	// core (CANONICALMERGESORT)
+	"load", "run formation", "multiway selection", "all-to-all",
+	"final merge", "collect",
+	// stripesort
+	"merge",
+	// baseline (NOW-Sort)
+	"sampling", "distribute", "local external sort",
+}
+
+func known(val string, set []string) bool {
+	for _, s := range set {
+		if s == val {
+			return true
+		}
+	}
+	return false
+}
+
 // ParseSpec parses a fault list from its flag form: faults separated
 // by ';', fields by ',', each field key=value — e.g.
 //
 //	rank=2,action=die,op=AllToAllv,phase=all-to-all;rank=0,action=delay,maxdelay=5ms
 //
-// No spaces (the launcher splits worker argv on them).
+// No spaces (the launcher splits worker argv on them). Actions, ops
+// and phases are validated against the known sets here, at parse time:
+// a typo'd trigger would otherwise be discovered only by never firing.
 func ParseSpec(spec string) ([]Fault, error) {
 	var faults []Fault
 	for _, one := range strings.Split(spec, ";") {
@@ -133,8 +164,14 @@ func ParseSpec(spec string) ([]Fault, error) {
 				}
 			case "op":
 				f.Op = val
+				if !known(val, KnownOps) {
+					err = fmt.Errorf("unknown op %q (known: %s)", val, strings.Join(KnownOps, ", "))
+				}
 			case "phase":
 				f.Phase = val
+				if !known(val, KnownPhases) {
+					err = fmt.Errorf("unknown phase %q (known: %s)", val, strings.Join(KnownPhases, ", "))
+				}
 			case "call":
 				f.Call, err = strconv.Atoi(val)
 			case "peer":

@@ -75,9 +75,35 @@ func TestParseSpecErrors(t *testing.T) {
 		"rank=1,action=die,notakeyvalue",  // not key=value
 		"rank=x,action=die",               // bad int
 		"rank=1,action=delay,maxdelay=5x", // bad duration
+		"rank=1,action=die,op=Telepathy",  // unknown transport op
+		"rank=1,action=die,phase=warp",    // unknown sort phase
 	} {
 		if _, err := faulty.ParseSpec(spec); err == nil {
 			t.Errorf("ParseSpec(%q) accepted a malformed spec", spec)
+		}
+	}
+	// A typoed op/phase must tell the user what IS valid.
+	if _, err := faulty.ParseSpec("rank=1,action=die,op=Telepathy"); err == nil ||
+		!strings.Contains(err.Error(), "AllToAllv") {
+		t.Errorf("op error does not list the known ops: %v", err)
+	}
+	if _, err := faulty.ParseSpec("rank=1,action=die,phase=warp"); err == nil ||
+		!strings.Contains(err.Error(), "multiway selection") {
+		t.Errorf("phase error does not list the known phases: %v", err)
+	}
+}
+
+// Every advertised op and phase must actually parse — the validation
+// lists are the injector's user contract.
+func TestParseSpecKnownSetsAccepted(t *testing.T) {
+	for _, op := range faulty.KnownOps {
+		if _, err := faulty.ParseSpec("rank=0,action=die,op=" + op); err != nil {
+			t.Errorf("known op %q rejected: %v", op, err)
+		}
+	}
+	for _, ph := range faulty.KnownPhases {
+		if _, err := faulty.ParseSpec("rank=0,action=die,phase=" + ph); err != nil {
+			t.Errorf("known phase %q rejected: %v", ph, err)
 		}
 	}
 }

@@ -101,8 +101,25 @@ const (
 // its payload (the wire header).
 const frameOverhead = 12
 
-// handshake magic prefixing the dialer's rank announcement.
-const magic = 0x44454d53 // "DEMS"
+// handshake magic prefixing the dialer's announcement. The full
+// handshake is hsLen bytes: magic(4) · rank(4) · epoch(4) ·
+// fnv64a(JobID)(8). Epoch and job hash are the incarnation fence: an
+// accepted connection presenting the wrong epoch or job is closed
+// before it can deliver a single frame.
+const (
+	magic = 0x44454d53 // "DEMS"
+	hsLen = 20
+)
+
+// jobHash is the handshake's job identity: FNV-1a over the JobID.
+func jobHash(jobID string) uint64 {
+	h := uint64(14695981039346656037)
+	for i := 0; i < len(jobID); i++ {
+		h ^= uint64(jobID[i])
+		h *= 1099511628211
+	}
+	return h
+}
 
 // ErrBind marks a New failure to bind the configured listen address —
 // usually the reservation race (another process grabbed a ReservePorts
@@ -168,6 +185,16 @@ type Config struct {
 	// undelivered across this PE's mailboxes exceed it; 0 means
 	// 256 MiB, negative disables.
 	MailboxHighWater int64
+	// JobID names the job this fleet runs; it is hashed into the
+	// connection handshake so a worker from a different job cannot
+	// join. Empty is a valid (shared) name.
+	JobID string
+	// Epoch is the fleet incarnation number, carried in the handshake.
+	// After a crash the launcher restarts the whole fleet at a higher
+	// epoch; a straggler process from the dead incarnation that dials a
+	// new-epoch listener is fenced — its connection is dropped before
+	// any frame of stale data can enter the new fleet.
+	Epoch int
 }
 
 // Machine hosts this process's single PE; it implements both
@@ -197,7 +224,13 @@ type Machine struct {
 	boxBytes atomic.Int64 // bytes currently queued undelivered
 	boxPeak  atomic.Int64 // high-water mark of boxBytes
 	hwWarned atomic.Bool
+
+	fenced atomic.Int64 // connections dropped for a stale epoch/job
 }
+
+// FencedConns reports how many inbound connections were dropped at the
+// handshake for presenting a stale epoch or a foreign job ID.
+func (m *Machine) FencedConns() int64 { return m.fenced.Load() }
 
 type peerConn struct {
 	conn net.Conn
@@ -332,7 +365,7 @@ func (m *Machine) connect() error {
 	wg.Add(1)
 	go func() {
 		defer wg.Done()
-		for accepted := 0; accepted < m.p-1-m.rank; accepted++ {
+		for accepted := 0; accepted < m.p-1-m.rank; {
 			if d, ok := m.ln.(*net.TCPListener); ok {
 				d.SetDeadline(deadline)
 			}
@@ -341,14 +374,24 @@ func (m *Machine) connect() error {
 				errCh <- fmt.Errorf("tcp: rank %d accept: %w", m.rank, err)
 				return
 			}
-			var hs [8]byte
+			// The handshake read gets its own deadline so a fenced or
+			// silent dialer cannot stall bring-up of the real peers.
+			conn.SetReadDeadline(deadline)
+			var hs [hsLen]byte
 			if _, err := io.ReadFull(conn, hs[:]); err != nil {
 				errCh <- fmt.Errorf("tcp: rank %d handshake read: %w", m.rank, err)
 				return
 			}
-			if binary.LittleEndian.Uint32(hs[:4]) != magic {
-				errCh <- fmt.Errorf("tcp: rank %d: bad handshake magic", m.rank)
-				return
+			conn.SetReadDeadline(time.Time{})
+			// Incarnation fence: a dialer from another job or a dead
+			// epoch is dropped on the floor, not treated as a fleet
+			// error — the real peer of this slot is still expected.
+			if binary.LittleEndian.Uint32(hs[:4]) != magic ||
+				int(binary.LittleEndian.Uint32(hs[8:12])) != m.cfg.Epoch ||
+				binary.LittleEndian.Uint64(hs[12:20]) != jobHash(m.cfg.JobID) {
+				m.fenced.Add(1)
+				conn.Close()
+				continue
 			}
 			src := int(binary.LittleEndian.Uint32(hs[4:8]))
 			if src <= m.rank || src >= m.p || m.peers[src] != nil {
@@ -356,6 +399,7 @@ func (m *Machine) connect() error {
 				return
 			}
 			m.registerPeer(src, conn)
+			accepted++
 		}
 	}()
 
@@ -381,9 +425,11 @@ func (m *Machine) connect() error {
 				errCh <- fmt.Errorf("tcp: rank %d dial rank %d (%s): %w", m.rank, dst, m.cfg.Peers[dst], err)
 				return
 			}
-			var hs [8]byte
+			var hs [hsLen]byte
 			binary.LittleEndian.PutUint32(hs[:4], magic)
 			binary.LittleEndian.PutUint32(hs[4:8], uint32(m.rank))
+			binary.LittleEndian.PutUint32(hs[8:12], uint32(m.cfg.Epoch))
+			binary.LittleEndian.PutUint64(hs[12:20], jobHash(m.cfg.JobID))
 			if _, err := conn.Write(hs[:]); err != nil {
 				errCh <- fmt.Errorf("tcp: rank %d handshake write to %d: %w", m.rank, dst, err)
 				return

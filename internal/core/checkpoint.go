@@ -1,0 +1,197 @@
+package core
+
+// The checkpoint/restart plane of CANONICALMERGESORT. Two phase
+// boundaries are worth committing: after run formation (the expensive
+// input pass — runs on disk, segment matrices and the gathered sample
+// in the manifest) and after multiway selection (the splitter matrix,
+// tiny and identical on every rank). From the selection checkpoint a
+// restarted fleet re-does only the exchange and merge; from the
+// run-formation checkpoint it additionally re-runs selection; with no
+// checkpoint it starts from scratch. Either way the input is never
+// re-read once run formation has committed.
+//
+// Durable mode changes one thing about the data plane: the exchange no
+// longer frees or relabels-as-owned the run blocks it has consumed
+// (exchange.go), and so the merge cannot recycle them either — the run
+// directory stays intact on disk until the job finishes, at the price
+// of the sort no longer being in-place (disk high-water roughly 3N/P
+// per rank instead of ~N/P). That is the classic checkpoint tradeoff:
+// space for restartability.
+//
+// Resume is fleet-uniform and crash-consistent: every rank loads its
+// own manifest and the fleet agrees on min(committed phase) with one
+// AllReduce, so a crash that left some ranks one commit ahead (between
+// a collective and the commits after it) downgrades them to the
+// phase everyone reached. A rank whose manifest is missing (crashed
+// before its first commit) downgrades the whole fleet to a fresh
+// start.
+
+import (
+	"fmt"
+	"os"
+
+	"demsort/internal/blockio"
+	"demsort/internal/cluster"
+	"demsort/internal/elem"
+	"demsort/internal/mselect"
+)
+
+// CheckpointConfig parameterises the durable checkpoint plane.
+type CheckpointConfig struct {
+	// Dir is where the per-rank manifests live (usually the spill
+	// directory, next to the durable block files). Empty disables
+	// checkpointing entirely.
+	Dir string
+	// JobID names the job across restarts; manifests from a different
+	// job are rejected. Empty defaults to "job".
+	JobID string
+	// Epoch is the fleet incarnation number; a restarted job resumes
+	// with a higher epoch than the one that crashed.
+	Epoch int
+	// Resume makes Sort rebuild state from the committed manifests and
+	// skip the committed phases. It must be set uniformly across the
+	// fleet (the ranks agree on the minimum committed phase with a
+	// collective). With no manifests on disk, Resume degrades to a
+	// normal fresh run.
+	Resume bool
+}
+
+// Committed phase levels, ordered by progress.
+const (
+	ckptNone      = int64(0)
+	ckptRunform   = int64(1)
+	ckptSelection = int64(2)
+)
+
+func ckptLevel(phase string) int64 {
+	switch phase {
+	case PhaseRunForm:
+		return ckptRunform
+	case PhaseSelection:
+		return ckptSelection
+	}
+	return ckptNone
+}
+
+// The optional durable-store surface a checkpointed volume must have
+// (blockio.FileStore in durable mode implements all of it).
+type lensStore interface {
+	BlockLens() []blockio.BlockLen
+	SetBlockLens([]blockio.BlockLen)
+}
+
+// loadCkpt reads and validates one rank's manifest, returning its
+// committed phase level; a missing manifest is level ckptNone.
+func loadCkpt(ck CheckpointConfig, rank, p, elemSize, blockBytes int) (*blockio.Manifest, int64, error) {
+	man, err := blockio.LoadManifest(ck.Dir, rank)
+	if os.IsNotExist(err) {
+		return nil, ckptNone, nil
+	}
+	if err != nil {
+		return nil, 0, fmt.Errorf("core: resume: %w", err)
+	}
+	if err := man.Validate(ck.JobID, rank, p, ck.Epoch, elemSize, blockBytes); err != nil {
+		return nil, 0, fmt.Errorf("core: resume: %w", err)
+	}
+	return man, ckptLevel(man.Phase), nil
+}
+
+// commitRunform writes the run-formation checkpoint: store contents
+// fsync'd first, then the manifest describing them — run directory,
+// gathered segment matrices, the whole-run samples, allocator state
+// and block layout.
+func commitRunform[T any](c elem.Codec[T], n *cluster.Node, cfg *Config, d derived, meta *runsMeta[T], locals []localRun[T]) (*blockio.Manifest, error) {
+	ls, ok := n.Vol.Store().(lensStore)
+	if !ok {
+		return nil, fmt.Errorf("core: Checkpoint.Dir is set but rank %d's block store is not durable (use blockio.DurableFileStoreFactory)", n.Rank)
+	}
+	if err := n.Vol.SyncStore(); err != nil {
+		return nil, fmt.Errorf("core: checkpoint sync, rank %d: %w", n.Rank, err)
+	}
+	next, free := n.Vol.AllocState()
+	man := &blockio.Manifest{
+		JobID:      cfg.Checkpoint.JobID,
+		Rank:       n.Rank,
+		P:          cfg.P,
+		Epoch:      cfg.Checkpoint.Epoch,
+		ElemSize:   c.Size(),
+		BlockBytes: cfg.BlockBytes,
+		SampleK:    d.sampleK,
+		Phase:      PhaseRunForm,
+		NextBlock:  next,
+		FreeList:   free,
+		Blocks:     ls.BlockLens(),
+		SegStarts:  meta.segStarts,
+		SegLens:    meta.segLens,
+		TotalN:     meta.totalN,
+	}
+	man.Runs = make([]blockio.RunMeta, len(locals))
+	for ri := range locals {
+		lr := &locals[ri]
+		rm := blockio.RunMeta{SegStart: lr.segStart, SegLen: lr.segLen, RunLen: lr.runLen}
+		rm.Extents = make([]blockio.ExtentMeta, len(lr.file.Extents))
+		for i, e := range lr.file.Extents {
+			rm.Extents[i] = blockio.ExtentMeta{ID: int64(e.ID), Off: e.Off, Len: e.Len, Own: e.Own}
+		}
+		// The gathered whole-run sample (not just this rank's share):
+		// it re-bootstraps selection on resume without a fresh gather.
+		rm.Sample = elem.AppendEncode(c, nil, meta.samples[ri].Vals)
+		man.Runs[ri] = rm
+	}
+	if err := man.WriteFile(cfg.Checkpoint.Dir); err != nil {
+		return nil, fmt.Errorf("core: checkpoint commit, rank %d: %w", n.Rank, err)
+	}
+	return man, nil
+}
+
+// commitSelection advances an existing manifest to the selection
+// checkpoint: only the phase and the splitter matrix change (selection
+// reads blocks but allocates none, so the store state still holds).
+func commitSelection(cfg *Config, n *cluster.Node, man *blockio.Manifest, split [][]int64) error {
+	man.Phase = PhaseSelection
+	man.Splitters = split
+	if err := man.WriteFile(cfg.Checkpoint.Dir); err != nil {
+		return fmt.Errorf("core: checkpoint commit, rank %d: %w", n.Rank, err)
+	}
+	return nil
+}
+
+// restoreRunform rebuilds the post-run-formation state from a
+// manifest: the volume allocator and store block layout, the local run
+// directory, and the gathered run metadata (including the in-memory
+// samples, charged to the budget exactly as gatherRunsMeta would).
+func restoreRunform[T any](c elem.Codec[T], n *cluster.Node, d derived, man *blockio.Manifest) ([]localRun[T], *runsMeta[T], error) {
+	ls, ok := n.Vol.Store().(lensStore)
+	if !ok {
+		return nil, nil, fmt.Errorf("core: resume requires a durable block store on rank %d (use blockio.DurableFileStoreFactory)", n.Rank)
+	}
+	if man.SampleK != d.sampleK {
+		return nil, nil, fmt.Errorf("core: resume: manifest SampleK %d differs from configured %d — resume with the same flags as the original job", man.SampleK, d.sampleK)
+	}
+	ls.SetBlockLens(man.Blocks)
+	n.Vol.RestoreAlloc(man.NextBlock, man.FreeList)
+
+	locals := make([]localRun[T], len(man.Runs))
+	meta := &runsMeta[T]{
+		runLens:   make([]int64, len(man.Runs)),
+		segStarts: man.SegStarts,
+		segLens:   man.SegLens,
+		samples:   make([]mselect.Sample[T], len(man.Runs)),
+		totalN:    man.TotalN,
+	}
+	for ri, rm := range man.Runs {
+		lr := localRun[T]{segStart: rm.SegStart, segLen: rm.SegLen, runLen: rm.RunLen}
+		for _, e := range rm.Extents {
+			lr.file.Append(Extent{ID: blockio.BlockID(e.ID), Off: e.Off, Len: e.Len, Own: e.Own})
+		}
+		locals[ri] = lr
+		meta.runLens[ri] = rm.RunLen
+		sample := elem.AppendDecode(c, nil, rm.Sample, len(rm.Sample)/c.Size())
+		meta.samples[ri] = mselect.Sample[T]{K: man.SampleK, Vals: sample}
+		// Mirror gatherRunsMeta's budget charge so releaseSamples
+		// balances (the locals' own sample share was never rebuilt and
+		// charges nothing).
+		n.Mem.MustAcquire(int64(len(sample)))
+	}
+	return locals, meta, nil
+}

@@ -1,0 +1,333 @@
+package core
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"io"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"demsort/internal/blockio"
+	"demsort/internal/cluster"
+	"demsort/internal/cluster/faulty"
+	"demsort/internal/cluster/sim"
+	"demsort/internal/elem"
+	"demsort/internal/workload"
+)
+
+// tallySource wraps a slice-backed Source so the test can prove how
+// many input bytes the sort actually pulled (the "zero re-read"
+// evidence of the resume contract). One shared counter — sim ranks
+// stream concurrently.
+func tallySource(input [][]elem.KV16) (func(rank int) (io.Reader, int64, error), *atomic.Int64) {
+	var n atomic.Int64
+	return func(rank int) (io.Reader, int64, error) {
+		enc := elem.EncodeSlice(kvc, input[rank])
+		return &tallyReader{r: bytes.NewReader(enc), n: &n}, int64(len(input[rank])), nil
+	}, &n
+}
+
+type tallyReader struct {
+	r io.Reader
+	n *atomic.Int64
+}
+
+func (t *tallyReader) Read(p []byte) (int, error) {
+	n, err := t.r.Read(p)
+	t.n.Add(int64(n))
+	return n, err
+}
+
+// sinkCapture collects each rank's sorted output bytes (ranks stream
+// concurrently on the sim backend).
+func sinkCapture(p int) (func(rank int, b []byte) error, [][]byte) {
+	out := make([][]byte, p)
+	var mu sync.Mutex
+	return func(rank int, b []byte) error {
+		mu.Lock()
+		out[rank] = append(out[rank], b...)
+		mu.Unlock()
+		return nil
+	}, out
+}
+
+func ckptConfig(p int, dir string, resume bool, epoch int) Config {
+	cfg := testConfig(p)
+	cfg.KeepOutput = false
+	cfg.NewStore = blockio.DurableFileStoreFactory(dir, cfg.BlockBytes)
+	cfg.Checkpoint = CheckpointConfig{Dir: dir, JobID: "ckpt-test", Epoch: epoch, Resume: resume}
+	return cfg
+}
+
+// TestResumeSkipsCommittedPhases is the heart of the checkpoint plane:
+// a durable run commits after run formation and selection; a resumed
+// run on the same workdir produces byte-identical output while reading
+// ZERO input bytes and never entering the committed phases.
+func TestResumeSkipsCommittedPhases(t *testing.T) {
+	const p = 4
+	input := inputFor(testConfig(p), workload.Uniform, 5200, 23)
+
+	// Reference: the plain, non-durable streaming run.
+	refCfg := testConfig(p)
+	refCfg.KeepOutput = false
+	refCfg.Source, _ = tallySource(input)
+	refSink, refOut := sinkCapture(p)
+	refCfg.Sink = refSink
+	if _, err := Sort[elem.KV16](kvc, refCfg, nil); err != nil {
+		t.Fatal(err)
+	}
+
+	// Durable fresh run: same output, manifests committed.
+	dir := t.TempDir()
+	cfg := ckptConfig(p, dir, false, 0)
+	src, readBytes := tallySource(input)
+	cfg.Source = src
+	sink, out := sinkCapture(p)
+	cfg.Sink = sink
+	if _, err := Sort[elem.KV16](kvc, cfg, nil); err != nil {
+		t.Fatal(err)
+	}
+	if readBytes.Load() == 0 {
+		t.Fatal("fresh run read no input?")
+	}
+	for r := 0; r < p; r++ {
+		if !bytes.Equal(out[r], refOut[r]) {
+			t.Fatalf("rank %d: durable mode changed the output", r)
+		}
+		man, err := blockio.LoadManifest(dir, r)
+		if err != nil {
+			t.Fatalf("rank %d committed no manifest: %v", r, err)
+		}
+		if man.Phase != PhaseSelection {
+			t.Fatalf("rank %d manifest at phase %q, want %q", r, man.Phase, PhaseSelection)
+		}
+		if len(man.Splitters) != p+1 {
+			t.Fatalf("rank %d manifest has %d splitter rows, want %d", r, len(man.Splitters), p+1)
+		}
+	}
+
+	// Resume: byte-identical, zero input bytes, committed phases never
+	// entered (they have no stats entries).
+	rcfg := ckptConfig(p, dir, true, 1)
+	rsrc, reread := tallySource(input)
+	rcfg.Source = rsrc
+	rsink, rout := sinkCapture(p)
+	rcfg.Sink = rsink
+	res, err := Sort[elem.KV16](kvc, rcfg, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := reread.Load(); got != 0 {
+		t.Fatalf("resume re-read %d input bytes, want 0", got)
+	}
+	for r := 0; r < p; r++ {
+		if !bytes.Equal(rout[r], refOut[r]) {
+			t.Fatalf("rank %d: resumed output differs from the reference", r)
+		}
+		if res.PerPE[r][PhaseRunForm] != nil || res.PerPE[r][PhaseSelection] != nil {
+			t.Fatalf("rank %d re-entered a committed phase on resume", r)
+		}
+		if res.PerPE[r][PhaseExchange] == nil || res.PerPE[r][PhaseMerge] == nil {
+			t.Fatalf("rank %d skipped an uncommitted phase on resume", r)
+		}
+	}
+	if res.EndMemElems[0] != 0 {
+		t.Fatalf("resume leaked %d memory reservations", res.EndMemElems[0])
+	}
+}
+
+// TestResumeDowngradesToMinPhase: a crash can land between the
+// selection commits of different ranks. The fleet must agree on the
+// MINIMUM committed phase — a rank whose manifest is ahead downgrades
+// and re-runs selection with everyone else, bit-identically.
+func TestResumeDowngradesToMinPhase(t *testing.T) {
+	const p = 2
+	input := inputFor(testConfig(p), workload.Uniform, 5200, 29)
+	dir := t.TempDir()
+
+	cfg := ckptConfig(p, dir, false, 0)
+	cfg.Source, _ = tallySource(input)
+	sink, out := sinkCapture(p)
+	cfg.Sink = sink
+	if _, err := Sort[elem.KV16](kvc, cfg, nil); err != nil {
+		t.Fatal(err)
+	}
+
+	// Rewind rank 1's manifest to the run-formation commit, as if the
+	// crash hit before its selection commit landed.
+	man, err := blockio.LoadManifest(dir, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	man.Phase = PhaseRunForm
+	man.Splitters = nil
+	if err := man.WriteFile(dir); err != nil {
+		t.Fatal(err)
+	}
+
+	rcfg := ckptConfig(p, dir, true, 1)
+	rsrc, reread := tallySource(input)
+	rcfg.Source = rsrc
+	rsink, rout := sinkCapture(p)
+	rcfg.Sink = rsink
+	res, err := Sort[elem.KV16](kvc, rcfg, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := reread.Load(); got != 0 {
+		t.Fatalf("downgraded resume re-read %d input bytes, want 0 (runs are still committed)", got)
+	}
+	for r := 0; r < p; r++ {
+		if !bytes.Equal(rout[r], out[r]) {
+			t.Fatalf("rank %d: downgraded resume changed the output", r)
+		}
+		// BOTH ranks re-ran selection — including rank 0, whose own
+		// manifest was still at the selection commit.
+		if res.PerPE[r][PhaseSelection] == nil {
+			t.Fatalf("rank %d did not re-run selection after the fleet downgrade", r)
+		}
+		if res.PerPE[r][PhaseRunForm] != nil {
+			t.Fatalf("rank %d re-ran run formation despite its commit", r)
+		}
+	}
+}
+
+// Resume must refuse manifests that describe a different job or a
+// non-durable store rather than quietly sorting garbage.
+func TestCheckpointValidation(t *testing.T) {
+	const p = 2
+	input := inputFor(testConfig(p), workload.Uniform, 5200, 31)
+	dir := t.TempDir()
+
+	cfg := ckptConfig(p, dir, false, 0)
+	cfg.Source, _ = tallySource(input)
+	cfg.Sink = func(int, []byte) error { return nil }
+	if _, err := Sort[elem.KV16](kvc, cfg, nil); err != nil {
+		t.Fatal(err)
+	}
+
+	// Wrong job ID.
+	bad := ckptConfig(p, dir, true, 1)
+	bad.Checkpoint.JobID = "someone-elses-job"
+	bad.Source, _ = tallySource(input)
+	bad.Sink = func(int, []byte) error { return nil }
+	if _, err := Sort[elem.KV16](kvc, bad, nil); err == nil {
+		t.Fatal("resume accepted a foreign job's manifests")
+	}
+
+	// Checkpointing onto a non-durable (RAM) store must fail loudly at
+	// the first commit, not lose the checkpoint silently.
+	ram := testConfig(p)
+	ram.KeepOutput = false
+	ram.Checkpoint = CheckpointConfig{Dir: t.TempDir(), JobID: "x"}
+	ram.Source, _ = tallySource(input)
+	ram.Sink = func(int, []byte) error { return nil }
+	if _, err := Sort[elem.KV16](kvc, ram, nil); err == nil {
+		t.Fatal("checkpointing accepted a RAM store that cannot survive a restart")
+	}
+}
+
+// TestChaosRestartMatrix is the recovery half of PR 6's chaos plane:
+// kill one rank in each phase of the sort, then restart the job the
+// way the launcher would — from scratch for a RAM-backed fleet, via
+// manifest resume for a durable file-backed one — and require output
+// byte-identical to the unfaulted run, with no goroutine leaks.
+func TestChaosRestartMatrix(t *testing.T) {
+	phases := []string{PhaseRunForm, PhaseSelection, PhaseExchange, PhaseMerge}
+	before := runtime.NumGoroutine()
+	for _, p := range []int{2, 4} {
+		input := inputFor(testConfig(p), workload.Uniform, 5200+37*p, 41)
+
+		refCfg := testConfig(p)
+		refCfg.KeepOutput = false
+		refCfg.Source, _ = tallySource(input)
+		refSink, refOut := sinkCapture(p)
+		refCfg.Sink = refSink
+		if _, err := Sort[elem.KV16](kvc, refCfg, nil); err != nil {
+			t.Fatal(err)
+		}
+
+		for _, mode := range []string{"ram-fresh-restart", "file-resume"} {
+			for _, phase := range phases {
+				t.Run(fmt.Sprintf("P%d_%s_crash-in-%s", p, mode, phase), func(t *testing.T) {
+					victim := p / 2
+					dir := t.TempDir()
+
+					// Incarnation 1: durable when resuming, and killed
+					// by the deterministic injector in the target phase.
+					var cfg1 Config
+					if mode == "file-resume" {
+						cfg1 = ckptConfig(p, dir, false, 0)
+					} else {
+						cfg1 = testConfig(p)
+						cfg1.KeepOutput = false
+					}
+					sm, err := sim.New(sim.Config{
+						P: p, BlockBytes: cfg1.BlockBytes, MemElems: cfg1.MemElems,
+						Model: cfg1.Model, NewStore: cfg1.NewStore,
+					})
+					if err != nil {
+						t.Fatal(err)
+					}
+					fm := faulty.Wrap(sm, 7, faulty.Fault{Rank: victim, Action: faulty.Crash, Phase: phase})
+					cfg1.Machine = fm
+					cfg1.NewStore = nil
+					cfg1.Source, _ = tallySource(input)
+					cfg1.Sink = func(int, []byte) error { return nil }
+					_, err = Sort[elem.KV16](kvc, cfg1, nil)
+					fm.Close()
+					var ae *cluster.ErrAborted
+					if !errors.As(err, &ae) || ae.Rank != victim {
+						t.Fatalf("crash in %q returned %v, want abort naming rank %d", phase, err, victim)
+					}
+
+					// Incarnation 2: restart the job. Fresh for RAM,
+					// manifest resume at the next epoch for file.
+					var cfg2 Config
+					if mode == "file-resume" {
+						cfg2 = ckptConfig(p, dir, true, 1)
+					} else {
+						cfg2 = testConfig(p)
+						cfg2.KeepOutput = false
+					}
+					src, reread := tallySource(input)
+					cfg2.Source = src
+					sink, out := sinkCapture(p)
+					cfg2.Sink = sink
+					if _, err := Sort[elem.KV16](kvc, cfg2, nil); err != nil {
+						t.Fatalf("restart after crash in %q: %v", phase, err)
+					}
+					for r := 0; r < p; r++ {
+						if !bytes.Equal(out[r], refOut[r]) {
+							t.Fatalf("rank %d: restarted output differs from the unfaulted run", r)
+						}
+					}
+					// Once run formation has committed, resume re-reads
+					// nothing; a crash before the first commit degrades
+					// to a fresh run, which must re-read everything.
+					if mode == "file-resume" && phase != PhaseRunForm {
+						if got := reread.Load(); got != 0 {
+							t.Fatalf("resume after crash in %q re-read %d input bytes, want 0", phase, got)
+						}
+					} else if reread.Load() == 0 {
+						t.Fatal("a from-scratch restart claims it read no input")
+					}
+				})
+			}
+		}
+	}
+	// Every machine (faulted and restarted) must be fully torn down.
+	deadline := time.Now().Add(10 * time.Second)
+	for runtime.NumGoroutine() > before+2 {
+		if time.Now().After(deadline) {
+			buf := make([]byte, 1<<20)
+			t.Fatalf("goroutines leaked: %d before, %d after\n%s",
+				before, runtime.NumGoroutine(), buf[:runtime.Stack(buf, true)])
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+}

@@ -109,6 +109,12 @@ type Config struct {
 	// shared across ranks must be safe for concurrent calls with
 	// distinct rank arguments. A Sink error aborts the sort.
 	Sink func(rank int, encoded []byte) error
+	// Checkpoint enables the durable checkpoint/restart plane: after
+	// run formation and after selection each rank commits a phase
+	// manifest under Checkpoint.Dir, and with Resume set a restarted
+	// rank rebuilds its state from the manifest instead of re-reading
+	// input. Requires a durable block store (see checkpoint.go).
+	Checkpoint CheckpointConfig
 	// Model is the virtual-time cost model (zero value: vtime.Default).
 	Model vtime.CostModel
 	// NewStore optionally overrides the per-PE block store (e.g.

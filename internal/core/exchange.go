@@ -30,6 +30,12 @@ func exchange[T any](c elem.Codec[T], n *cluster.Node, cfg *Config, d derived, m
 	r := len(locals)
 	sz := c.Size()
 	bElem := int64(d.bElem)
+	// Durable mode keeps the run blocks intact so a resumed fleet can
+	// re-run the exchange from the run-formation checkpoint: fully-sent
+	// blocks are not freed and kept extents never take ownership (the
+	// merge would recycle owned blocks). The price is that the sort is
+	// no longer in-place on disk.
+	durable := cfg.Checkpoint.Dir != ""
 
 	// ----- Plan -----
 	// Send streams: for dest q, the run-major list of my segment
@@ -183,7 +189,7 @@ func exchange[T any](c elem.Codec[T], n *cluster.Node, cfg *Config, d derived, m
 					h := min64(to, bLo+int64(len(vals))) - bLo
 					buf = elem.AppendEncode(c, buf, vals[l:h])
 					sendLeft[seg.run][blk] -= int32(h - l)
-					if sendLeft[seg.run][blk] == 0 && !keptTouch[seg.run][blk] {
+					if sendLeft[seg.run][blk] == 0 && !keptTouch[seg.run][blk] && !durable {
 						ext := locals[seg.run].file.Extents[blk]
 						n.Vol.Free(ext.ID)
 						if key := (cacheKey{seg.run, blk}); key == lastKey {
@@ -270,7 +276,7 @@ func exchange[T any](c elem.Codec[T], n *cluster.Node, cfg *Config, d derived, m
 				continue
 			}
 			full := l == 0 && h == int64(ext.Len)
-			f.Append(Extent{ID: ext.ID, Off: int(l), Len: int(h - l), Own: full})
+			f.Append(Extent{ID: ext.ID, Off: int(l), Len: int(h - l), Own: full && !durable})
 		}
 		for p := me + 1; p < n.P; p++ {
 			appendRecv(p)

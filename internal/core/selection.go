@@ -3,6 +3,7 @@ package core
 import (
 	"encoding/binary"
 	"fmt"
+	"runtime"
 	"sort"
 
 	"demsort/internal/bufpool"
@@ -220,6 +221,11 @@ func multiwaySelection[T any](c elem.Codec[T], n *cluster.Node, cfg *Config, d d
 	reqCh := make(chan []fetchKey)
 	resCh := make(chan [][]T)
 	doneCh := make(chan []int64, 1)
+	// quitCh unblocks the selector goroutine if this PE unwinds with a
+	// panic (e.g. a peer-failure abort) while the selector is parked in
+	// fetchBatch — otherwise it would leak, pinned to reqCh/resCh.
+	quitCh := make(chan struct{})
+	defer close(quitCh)
 
 	cacheCap := 6*r + 6
 	if cfg.MemElems > 0 {
@@ -240,8 +246,18 @@ func multiwaySelection[T any](c elem.Codec[T], n *cluster.Node, cfg *Config, d d
 		cacheCap: cacheCap,
 	}
 	acc.fetchBatch = func(ks []fetchKey) [][]T {
-		reqCh <- ks
-		return <-resCh
+		select {
+		case reqCh <- ks:
+		case <-quitCh:
+			runtime.Goexit()
+		}
+		select {
+		case res := <-resCh:
+			return res
+		case <-quitCh:
+			runtime.Goexit()
+		}
+		panic("unreachable")
 	}
 	acc.fetch = func(k fetchKey) []T {
 		return acc.fetchBatch([]fetchKey{k})[0]

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"io"
 
+	"demsort/internal/blockio"
 	"demsort/internal/cluster"
 	"demsort/internal/cluster/sim"
 	"demsort/internal/elem"
@@ -207,6 +208,9 @@ func Sort[T any](c elem.Codec[T], cfg Config, input [][]T) (*Result[T], error) {
 	if err := cfg.CheckCapacity(c.Size(), nPerPE); err != nil {
 		return nil, err
 	}
+	if cfg.Checkpoint.Dir != "" && cfg.Checkpoint.JobID == "" {
+		cfg.Checkpoint.JobID = "job"
+	}
 
 	m := cfg.Machine
 	if m == nil {
@@ -246,40 +250,111 @@ func Sort[T any](c elem.Codec[T], cfg Config, input [][]T) (*Result[T], error) {
 	totalN := make([]int64, cfg.P)
 
 	err = m.Run(func(n *cluster.Node) error {
-		// Load the input onto the local disks (outside the measured
-		// sort: the paper's inputs pre-exist on disk). A Source streams
-		// the encoded tile block-at-a-time straight onto the volume —
-		// the only load-phase memory is the staging block it charges.
 		n.SetPhase(PhaseLoad)
-		var in File
-		if cfg.Source != nil {
-			n.Mem.MustAcquire(int64(d.bElem))
-			var err error
-			in, err = loadStream(c, n.Vol, sources[n.Rank], sourceN[n.Rank])
-			n.Mem.Release(int64(d.bElem))
-			if err != nil {
-				return fmt.Errorf("core: input source, rank %d: %w", n.Rank, err)
-			}
-		} else {
-			lw := newWriter(c, n.Vol)
-			lw.addSlice(input[n.Rank])
-			in = lw.finish()
-		}
-		n.Vol.Drain()
-		res.LoadPeakMemElems[n.Rank] = n.Mem.Peak()
-		n.Barrier()
-		n.Vol.ResetPeak()
 
-		locals, err := runFormation(c, n, &cfg, d, in)
-		if err != nil {
-			return err
+		// Resume negotiation: each rank reads its own committed phase,
+		// and the fleet agrees on the minimum with one collective — a
+		// rank whose commit raced ahead of the crash downgrades, a rank
+		// with no manifest downgrades everyone to a fresh start. A
+		// fresh durable run instead clears any stale manifest so a
+		// crash before the first commit cannot adopt a dead
+		// incarnation's checkpoint.
+		durable := cfg.Checkpoint.Dir != ""
+		var man *blockio.Manifest
+		resumeLvl := ckptNone
+		if durable {
+			if cfg.Checkpoint.Resume {
+				var lvl int64
+				var err error
+				man, lvl, err = loadCkpt(cfg.Checkpoint, n.Rank, cfg.P, c.Size(), cfg.BlockBytes)
+				if err != nil {
+					return err
+				}
+				resumeLvl = n.AllReduceInt64(lvl, "min")
+				if resumeLvl < ckptRunform {
+					man = nil
+				}
+			} else if err := blockio.RemoveManifest(cfg.Checkpoint.Dir, n.Rank); err != nil {
+				return fmt.Errorf("core: clearing stale manifest, rank %d: %w", n.Rank, err)
+			}
+		}
+
+		var locals []localRun[T]
+		var meta *runsMeta[T]
+		if resumeLvl >= ckptRunform {
+			// The runs are already on disk: rebuild the directory from
+			// the manifest without touching the input source.
+			var err error
+			locals, meta, err = restoreRunform(c, n, d, man)
+			if err != nil {
+				return err
+			}
+			res.LoadPeakMemElems[n.Rank] = n.Mem.Peak()
+			n.Barrier()
+			n.Vol.ResetPeak()
+		} else {
+			// Load the input onto the local disks (outside the measured
+			// sort: the paper's inputs pre-exist on disk). A Source streams
+			// the encoded tile block-at-a-time straight onto the volume —
+			// the only load-phase memory is the staging block it charges.
+			var in File
+			if cfg.Source != nil {
+				n.Mem.MustAcquire(int64(d.bElem))
+				var err error
+				in, err = loadStream(c, n.Vol, sources[n.Rank], sourceN[n.Rank])
+				n.Mem.Release(int64(d.bElem))
+				if err != nil {
+					return fmt.Errorf("core: input source, rank %d: %w", n.Rank, err)
+				}
+			} else {
+				lw := newWriter(c, n.Vol)
+				lw.addSlice(input[n.Rank])
+				in = lw.finish()
+			}
+			n.Vol.Drain()
+			res.LoadPeakMemElems[n.Rank] = n.Mem.Peak()
+			n.Barrier()
+			n.Vol.ResetPeak()
+
+			var err error
+			locals, err = runFormation(c, n, &cfg, d, in)
+			if err != nil {
+				return err
+			}
+			meta = gatherRunsMeta(c, n, d, locals)
+			if durable {
+				man, err = commitRunform(c, n, &cfg, d, meta, locals)
+				if err != nil {
+					return err
+				}
+				// No rank enters selection until every rank's commit is
+				// on disk — without this, a crash early in selection can
+				// abort a straggler mid-commit and downgrade the whole
+				// fleet's resume to a full re-read.
+				n.Barrier()
+			}
 		}
 		runsSeen[n.Rank] = len(locals)
 
-		meta := gatherRunsMeta(c, n, d, locals)
-		split, err := multiwaySelection(c, n, &cfg, d, meta, locals)
-		if err != nil {
-			return err
+		var split [][]int64
+		if resumeLvl >= ckptSelection {
+			// The splitter matrix is identical on every rank and tiny —
+			// reuse the committed copy instead of re-running selection.
+			split = man.Splitters
+		} else {
+			var err error
+			split, err = multiwaySelection(c, n, &cfg, d, meta, locals)
+			if err != nil {
+				return err
+			}
+			if durable {
+				if err := commitSelection(&cfg, n, man, split); err != nil {
+					return err
+				}
+				// Same fencing as the run-formation commit: a crash in
+				// the exchange must find every selection commit durable.
+				n.Barrier()
+			}
 		}
 		releaseSamples(n, meta, locals)
 
