@@ -153,6 +153,7 @@ func main() {
 	run("5", saveFig("fig5", demsort.Fig5))
 	run("6", saveFig("fig6", demsort.Fig6))
 	run("striped", saveFig("striped_phases", demsort.StripedPhases))
+	run("overlap", saveFig("overlap_ratio", demsort.OverlapRatios))
 	run("sortbench", saveTable("sortbench", func() (*demsort.Table, error) { return demsort.SortBenchTable(s) }))
 	run("capacity", saveTable("capacity", func() (*demsort.Table, error) { return demsort.CapacityTable(), nil }))
 	run("skew", saveTable("skew", func() (*demsort.Table, error) { return demsort.BaselineSkewTable(s) }))

@@ -47,6 +47,7 @@ type launchParams struct {
 	block     int
 	seed      uint64
 	randomize bool
+	overlap   bool
 	striped   bool
 	infile    string
 	outdir    string
@@ -71,6 +72,7 @@ func (lp launchParams) workerArgs(rank int, peers []string) []string {
 		"-block", fmt.Sprint(lp.block),
 		"-seed", fmt.Sprint(lp.seed),
 		fmt.Sprintf("-randomize=%v", lp.randomize),
+		fmt.Sprintf("-overlap=%v", lp.overlap),
 		"-store", lp.store,
 	}
 	args = append(args, "-jobid", lp.jobid, "-epoch", fmt.Sprint(lp.epoch))

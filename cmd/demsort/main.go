@@ -81,6 +81,7 @@ func main() {
 	block := flag.Int("block", 1024, "block size in bytes")
 	kind := flag.String("workload", "uniform", "input distribution (sim KV16 mode)")
 	randomize := flag.Bool("randomize", true, "shuffle input blocks before run formation")
+	overlap := flag.Bool("overlap", true, "overlap I/O and communication with compute (pipelined all-to-all, async load/collect)")
 	striped := flag.Bool("striped", false, "use the globally striped algorithm (Section III)")
 	seed := flag.Uint64("seed", 1, "random seed")
 	transport := flag.String("transport", "sim", "cluster backend: sim (virtual time) or tcp (real processes)")
@@ -112,6 +113,7 @@ func main() {
 		block:     *block,
 		seed:      *seed,
 		randomize: *randomize,
+		overlap:   *overlap,
 		striped:   *striped,
 		infile:    *infile,
 		outdir:    *outdir,
@@ -139,7 +141,7 @@ func main() {
 			runRecordsSim(*p, lp)
 			return
 		}
-		runKV16Sim(*p, *n, *mem, *block, *kind, *randomize, *striped, *seed)
+		runKV16Sim(*p, *n, *mem, *block, *kind, *randomize, *overlap, *striped, *seed)
 	case "tcp":
 		if *rank < 0 {
 			runLauncher(*p, lp, *hostfile, *baseport, *sshCmd, *remoteExe)
@@ -300,18 +302,20 @@ func partSummary(outdir string, rank int) sortbench.Summary {
 	return s
 }
 
-func recordOptions(p int, mem int64, block int, seed uint64, randomize bool) demsort.Options {
+func recordOptions(p int, mem int64, block int, seed uint64, randomize, overlap bool) demsort.Options {
 	opts := demsort.NewOptions(p, mem, block)
 	opts.Model = demsort.ScaledModel(block)
 	opts.Randomize = randomize
+	opts.Overlap = overlap
 	opts.Seed = seed
 	return opts
 }
 
-func stripedRecordOptions(p int, mem int64, block int, seed uint64, randomize bool) demsort.StripedOptions {
+func stripedRecordOptions(p int, mem int64, block int, seed uint64, randomize, overlap bool) demsort.StripedOptions {
 	opts := demsort.NewStripedOptions(p, mem, block)
 	opts.Model = demsort.ScaledModel(block)
 	opts.Randomize = randomize
+	opts.Overlap = overlap
 	opts.Seed = seed
 	return opts
 }
@@ -384,7 +388,7 @@ func runRecordsSim(p int, lp launchParams) {
 	var phaseNames []string
 	var nBytes int64
 	if lp.striped {
-		opts := stripedRecordOptions(p, lp.mem, lp.block, lp.seed, lp.randomize)
+		opts := stripedRecordOptions(p, lp.mem, lp.block, lp.seed, lp.randomize, lp.overlap)
 		opts.NewStore = newStoreFactory(lp)
 		opts.Source = lp.source()
 		opts.Sink = sinks.sink
@@ -394,7 +398,7 @@ func runRecordsSim(p int, lp launchParams) {
 			res.P, res.N, res.Runs, res.Batches)
 		stats, phaseNames, nBytes = res, res.PhaseNames, res.N*100
 	} else {
-		opts := recordOptions(p, lp.mem, lp.block, lp.seed, lp.randomize)
+		opts := recordOptions(p, lp.mem, lp.block, lp.seed, lp.randomize, lp.overlap)
 		opts.NewStore = newStoreFactory(lp)
 		opts.Source = lp.source()
 		opts.Sink = sinks.sink
@@ -471,7 +475,7 @@ func runTCPWorker(rank int, peers []string, lp launchParams) {
 	var perPE map[string]*vtime.PhaseStats
 	var outLen int64
 	if lp.striped {
-		opts := stripedRecordOptions(p, lp.mem, lp.block, lp.seed, lp.randomize)
+		opts := stripedRecordOptions(p, lp.mem, lp.block, lp.seed, lp.randomize, lp.overlap)
 		opts.Machine = m
 		opts.Source = src
 		opts.Sink = sink
@@ -483,7 +487,7 @@ func runTCPWorker(rank int, peers []string, lp launchParams) {
 			outLen = res.N // no collect ran; report the fleet total
 		}
 	} else {
-		opts := recordOptions(p, lp.mem, lp.block, lp.seed, lp.randomize)
+		opts := recordOptions(p, lp.mem, lp.block, lp.seed, lp.randomize, lp.overlap)
 		opts.Machine = m
 		opts.Source = src
 		opts.Sink = sink
@@ -538,7 +542,7 @@ func (c *countingReader) Read(p []byte) (int, error) {
 // KV16 simulated mode (the original figures workload).
 // ---------------------------------------------------------------------
 
-func runKV16Sim(p, n int, mem int64, block int, kind string, randomize, striped bool, seed uint64) {
+func runKV16Sim(p, n int, mem int64, block int, kind string, randomize, overlap, striped bool, seed uint64) {
 	input := workload.Generate(workload.Kind(kind), p, n, seed)
 	var ref []demsort.KV16
 	for _, part := range input {
@@ -550,6 +554,7 @@ func runKV16Sim(p, n int, mem int64, block int, kind string, randomize, striped 
 		opts := demsort.NewStripedOptions(p, mem, block)
 		opts.Model = demsort.ScaledModel(block)
 		opts.Randomize = randomize
+		opts.Overlap = overlap
 		opts.Seed = seed
 		opts.KeepOutput = true
 		res, err := demsort.SortStriped[demsort.KV16](demsort.KV16Codec{}, opts, input)
@@ -575,6 +580,7 @@ func runKV16Sim(p, n int, mem int64, block int, kind string, randomize, striped 
 	opts := demsort.NewOptions(p, mem, block)
 	opts.Model = demsort.ScaledModel(block)
 	opts.Randomize = randomize
+	opts.Overlap = overlap
 	opts.Seed = seed
 	opts.KeepOutput = true
 	res, err := demsort.Sort[demsort.KV16](demsort.KV16Codec{}, opts, input)

@@ -379,6 +379,35 @@ func AblationOverlap(s FigureScale) (*Figure, error) {
 	return f, nil
 }
 
+// OverlapRatios reports the per-phase overlap ratio (1 − blocked/wall)
+// of the pipelined sort at two machine sizes, with the overlap-off run
+// alongside as the floor. It exists primarily for BENCH.json: archiving
+// the ratios per PR lets benchdiff flag a regression where a phase
+// silently falls back to lock-step operation even when its wall time
+// still looks plausible.
+func OverlapRatios(s FigureScale) (*Figure, error) {
+	f := &Figure{Title: "Overlap ratio per phase (1 - blocked/wall)", XLabel: "P", YLabel: "overlap ratio"}
+	for _, p := range []int{4, 16} {
+		for _, overlap := range []bool{true, false} {
+			opts := s.options(p, s.BlockBytes, true)
+			opts.Overlap = overlap
+			input := workload.Generate(workload.Uniform, p, s.PerPE, s.Seed)
+			res, err := Sort[KV16](KV16Codec{}, opts, input)
+			if err != nil {
+				return nil, fmt.Errorf("overlap ratios P=%d overlap=%v: %w", p, overlap, err)
+			}
+			suffix := ", overlap on"
+			if !overlap {
+				suffix = ", overlap off"
+			}
+			for _, ph := range res.PhaseNames {
+				f.Add(ph+suffix, float64(p), res.OverlapRatio(ph))
+			}
+		}
+	}
+	return f, nil
+}
+
 // AblationSampleK sweeps the sampling distance K: selection time stays
 // negligible across a wide K range (§IV-A's optimisations).
 func AblationSampleK(s FigureScale) (*Figure, error) {

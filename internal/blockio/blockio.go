@@ -341,8 +341,9 @@ func (v *Volume) ReadAsync(id BlockID, dst []byte) Handle {
 	return Handle(done)
 }
 
-// Wait advances the PE's clock to the completion of h.
-func (v *Volume) Wait(h Handle) { v.clock.AdvanceTo(float64(h)) }
+// Wait advances the PE's clock to the completion of h; any jump is a
+// disk stall and counts against the phase's overlap ratio.
+func (v *Volume) Wait(h Handle) { v.stallTo(float64(h)) }
 
 // ReadWait is ReadAsync immediately followed by Wait.
 func (v *Volume) ReadWait(id BlockID, dst []byte) {
@@ -351,7 +352,18 @@ func (v *Volume) ReadWait(id BlockID, dst []byte) {
 
 // Drain blocks (virtually) until all queued I/O has completed; phases
 // call it before their closing barrier so written data is on disk.
-func (v *Volume) Drain() { v.clock.AdvanceTo(v.disk.BusyUntil()) }
+func (v *Volume) Drain() { v.stallTo(v.disk.BusyUntil()) }
+
+// stallTo advances the clock to t, charging the jump as blocked time:
+// a PE waiting on its disk is exactly what the overlapped pipelines
+// hide, so the per-phase overlap ratio must see it.
+func (v *Volume) stallTo(t float64) {
+	entry := v.clock.Now()
+	v.clock.AdvanceTo(t)
+	if t > entry {
+		v.clock.Cur().BlockedTime += t - entry
+	}
+}
 
 // Store exposes the underlying store (used when relabelling blocks
 // between logical files without I/O).
@@ -433,6 +445,70 @@ func (v *Volume) FillFrom(r io.Reader, totalBytes int64, chunkBytes int) ([]Span
 		v.WriteAsync(id, b)
 		spans = append(spans, Span{ID: id, Bytes: take})
 		rem -= int64(take)
+	}
+	return spans, nil
+}
+
+// fillChunk is one staged read of an overlapped fill.
+type fillChunk struct {
+	buf []byte
+	err error
+}
+
+// FillFromOverlap is FillFrom with the source reads hidden behind the
+// store writes: a reader goroutine stages up to two pooled chunks ahead
+// while the calling PE goroutine allocates and writes blocks — the
+// double-buffered load pipeline of §IV-E (sort tile t while tile t+1
+// streams in rides on this plus run formation's prefetch). Spans,
+// errors and the allocation order are identical to FillFrom; the
+// memory bound grows from one staging chunk to at most three (the
+// bounded stage depth), and the volume itself is only ever touched by
+// the calling goroutine.
+func (v *Volume) FillFromOverlap(r io.Reader, totalBytes int64, chunkBytes int) ([]Span, error) {
+	if chunkBytes <= 0 || chunkBytes > v.blockBytes {
+		return nil, fmt.Errorf("blockio: FillFrom chunk %d outside (0, %d]", chunkBytes, v.blockBytes)
+	}
+	var spans []Span
+	if totalBytes <= 0 {
+		return spans, nil
+	}
+	const depth = 2
+	ch := make(chan fillChunk, depth)
+	stop := make(chan struct{})
+	defer close(stop) // a consumer-side panic must not strand the reader
+	go func() {
+		defer close(ch)
+		for rem := totalBytes; rem > 0; {
+			take := chunkBytes
+			if int64(take) > rem {
+				take = int(rem)
+			}
+			b := bufpool.Get(take)
+			if _, err := io.ReadFull(r, b); err != nil {
+				bufpool.Put(b)
+				select {
+				case ch <- fillChunk{err: fmt.Errorf("blockio: source read at byte %d of %d: %w", totalBytes-rem, totalBytes, err)}:
+				case <-stop:
+				}
+				return
+			}
+			select {
+			case ch <- fillChunk{buf: b}:
+			case <-stop:
+				bufpool.Put(b)
+				return
+			}
+			rem -= int64(take)
+		}
+	}()
+	for c := range ch {
+		if c.err != nil {
+			return spans, c.err
+		}
+		id := v.Alloc()
+		v.WriteAsync(id, c.buf)
+		spans = append(spans, Span{ID: id, Bytes: len(c.buf)})
+		bufpool.Put(c.buf)
 	}
 	return spans, nil
 }

@@ -190,6 +190,75 @@ type MailboxStats interface {
 	MailboxPeakBytes() int64
 }
 
+// A2AStream is a pipelined sequence of AllToAllv exchanges: the caller
+// posts exchange s+1's send vectors while exchange s's receives are
+// still draining, so encode work and the wire overlap (the §IV-E
+// double-buffered all-to-all). The discipline is strict FIFO — every
+// Post is answered by exactly one Collect, in order — and at most the
+// stream's window of exchanges may be posted but not yet collected, so
+// receive-side buffering stays O(window · exchange size).
+//
+// Ownership follows AllToAllv: posted send buffers belong to the stream
+// (the backend may hand them to the arena once written — the caller
+// must not touch them after Post), collected buffers belong to the
+// caller (RecycleRecv). While a stream is open no other collective may
+// run on the transport; Close (idempotent, safe during unwinds) must be
+// called before the next collective.
+type A2AStream interface {
+	// Post enqueues one exchange's send vectors (send[j] to PE j, nil
+	// entries allowed). It never blocks on the network; posting more
+	// than window exchanges ahead of Collect is a protocol bug that
+	// fails the machine.
+	Post(send [][]byte)
+	// Collect blocks for the oldest uncollected exchange's receives
+	// (recv[j] = bytes from PE j, self-message uncopied).
+	Collect() [][]byte
+	// Close releases the stream. Calling it with posted-but-uncollected
+	// exchanges pending is only legal during an abort unwind.
+	Close()
+}
+
+// StreamingTransport is an optional Transport extension for backends
+// with a genuinely asynchronous AllToAllv path. Backends without it get
+// the synchronous fallback from Node.OpenA2AStream, so phase code can
+// target the stream API unconditionally.
+type StreamingTransport interface {
+	OpenA2AStream(window int) A2AStream
+}
+
+// syncA2AStream adapts a plain Transport to the stream API: Post runs
+// the blocking AllToAllv immediately and queues the result for Collect.
+// Phase code is SPMD, so the collective call order stays identical on
+// every PE — which is what the sim backend's rendezvous requires.
+type syncA2AStream struct {
+	tr      Transport
+	pending [][][]byte
+}
+
+func (s *syncA2AStream) Post(send [][]byte) {
+	s.pending = append(s.pending, s.tr.AllToAllv(send))
+}
+
+func (s *syncA2AStream) Collect() [][]byte {
+	recv := s.pending[0]
+	s.pending = s.pending[1:]
+	return recv
+}
+
+func (s *syncA2AStream) Close() {
+	for _, recv := range s.pending {
+		RecycleRecv(recv)
+	}
+	s.pending = nil
+}
+
+// SyncA2AStream wraps a plain Transport in the synchronous stream
+// adapter — what Node.OpenA2AStream falls back to. Transport wrappers
+// that implement StreamingTransport unconditionally (so their hooks
+// stay on the pipelined path) use it when their wrapped backend has no
+// asynchronous path of its own.
+func SyncA2AStream(tr Transport) A2AStream { return &syncA2AStream{tr: tr} }
+
 // Node is the per-PE context handed to the program run on the machine:
 // the facade phase code programs against, delegating communication to
 // the backend Transport and time accounting to the backend Stats.
@@ -253,6 +322,18 @@ func (n *Node) Barrier() { n.tr.Barrier() }
 // AllToAllv sends send[j] to PE j and returns what every PE sent to
 // this one; see Transport.AllToAllv.
 func (n *Node) AllToAllv(send [][]byte) [][]byte { return n.tr.AllToAllv(send) }
+
+// OpenA2AStream opens a pipelined all-to-all stream with the given
+// in-flight window (see A2AStream). Backends without an asynchronous
+// path get a synchronous adapter, so callers need no fallback logic:
+// the stream API is always available and always byte-identical to a
+// sequence of plain AllToAllv calls.
+func (n *Node) OpenA2AStream(window int) A2AStream {
+	if st, ok := n.tr.(StreamingTransport); ok {
+		return st.OpenA2AStream(window)
+	}
+	return &syncA2AStream{tr: n.tr}
+}
 
 // AllGather collects each PE's byte slice, indexed by rank; the result
 // may be shared structurally (callers must not mutate it).

@@ -376,9 +376,41 @@ func (t *transport) MailboxPeakBytes() int64 {
 	return 0
 }
 
+// OpenA2AStream forwards the pipelined all-to-all path
+// (cluster.StreamingTransport passthrough), wrapping the stream so
+// every posted exchange still runs this rank's AllToAllv fault check on
+// the PE goroutine — without this, chaos runs would silently fall back
+// to the synchronous adapter and never exercise the double-buffered
+// rounds. On a backend without an asynchronous path the synchronous
+// adapter is built over this wrapper, so its Post reaches the fault
+// check through the intercepted AllToAllv.
+func (t *transport) OpenA2AStream(window int) cluster.A2AStream {
+	if st, ok := t.Transport.(cluster.StreamingTransport); ok {
+		return &faultyStream{inner: st.OpenA2AStream(window), t: t}
+	}
+	return cluster.SyncA2AStream(t)
+}
+
+// faultyStream injects the AllToAllv fault at each Post — the same
+// call position the synchronous path triggers at.
+type faultyStream struct {
+	inner cluster.A2AStream
+	t     *transport
+}
+
+func (s *faultyStream) Post(send [][]byte) {
+	s.t.before("AllToAllv")
+	s.inner.Post(send)
+}
+
+func (s *faultyStream) Collect() [][]byte { return s.inner.Collect() }
+
+func (s *faultyStream) Close() { s.inner.Close() }
+
 // Interface conformance.
 var (
-	_ cluster.Machine      = (*Machine)(nil)
-	_ cluster.Transport    = (*transport)(nil)
-	_ cluster.MailboxStats = (*transport)(nil)
+	_ cluster.Machine            = (*Machine)(nil)
+	_ cluster.Transport          = (*transport)(nil)
+	_ cluster.MailboxStats       = (*transport)(nil)
+	_ cluster.StreamingTransport = (*transport)(nil)
 )

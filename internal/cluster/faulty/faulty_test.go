@@ -8,6 +8,7 @@ package faulty_test
 
 import (
 	"bytes"
+	"encoding/binary"
 	"errors"
 	"fmt"
 	"io"
@@ -208,6 +209,27 @@ func recSource(rank int) (io.Reader, int64, error) {
 	return sortbench.NewReader(seed, int64(rank)*nPer, nPer), nPer, nil
 }
 
+// bandedSource feeds each rank 12000 records with descending keys, so
+// every memory-sized chunk occupies its own key band in reverse chunk
+// order. With block randomization off, run formation cannot
+// pre-balance this: the final exchange must cross-shuffle whole run
+// segments, which drives k to 3 (P=2) / 5 (P=4) sub-operations against
+// the 2048-element quota — enough rounds for the pipelined A2AStream
+// path to have an exchange in flight when the injected fault fires.
+func bandedSource(rank int) (io.Reader, int64, error) {
+	const n = 12000
+	buf := make([]byte, 0, n*100)
+	for i := int64(0); i < n; i++ {
+		var r elem.Rec100
+		binary.BigEndian.PutUint64(r[:8], uint64(n-i))
+		r[8] = byte(rank)
+		r[9] = byte(i)
+		copy(r[10:], fmt.Sprintf("%020d", i))
+		buf = append(buf, r[:]...)
+	}
+	return bytes.NewReader(buf), n, nil
+}
+
 func freePorts(t *testing.T, p int) []string {
 	t.Helper()
 	addrs, err := tcp.ReservePorts(p)
@@ -223,18 +245,34 @@ type chaosScenario struct {
 	fault func(rank int) faulty.Fault
 	// heartbeat scenarios need tight liveness bounds to finish fast.
 	tightHeartbeat bool
+	// banded scenarios feed descending banded keys with block
+	// randomization off, the adversarial input that forces k ≥ 2
+	// exchange sub-operations — with uniform input the randomized run
+	// formation pre-balances the data and the A2AStream path never
+	// engages (k = 1 moves only the sampling residue).
+	banded bool
 }
 
 var chaosScenarios = []chaosScenario{
 	{"crash-before-selection", func(r int) faulty.Fault {
 		return faulty.Fault{Rank: r, Action: faulty.Crash, Phase: core.PhaseSelection}
-	}, false},
+	}, false, false},
 	{"crash-mid-all-to-all", func(r int) faulty.Fault {
 		return faulty.Fault{Rank: r, Action: faulty.Crash, Op: "AllToAllv", Phase: core.PhaseExchange}
-	}, false},
+	}, false, false},
 	{"wedge-mid-collect", func(r int) faulty.Fault {
 		return faulty.Fault{Rank: r, Action: faulty.Wedge, Phase: "collect"}
-	}, true},
+	}, true, false},
+	// Banded input gives k ≥ 3 sub-operations, so the second AllToAllv
+	// call is a Post issued while the first exchange is still on the
+	// wire — the fault lands mid double-buffered round, with the sender
+	// goroutine live and a posted window un-collected.
+	{"crash-mid-pipelined-exchange", func(r int) faulty.Fault {
+		return faulty.Fault{Rank: r, Action: faulty.Crash, Op: "AllToAllv", Phase: core.PhaseExchange, Call: 2}
+	}, false, true},
+	{"wedge-mid-pipelined-exchange", func(r int) faulty.Fault {
+		return faulty.Fault{Rank: r, Action: faulty.Wedge, Op: "AllToAllv", Phase: core.PhaseExchange, Call: 2}
+	}, true, true},
 }
 
 // TestChaosMatrix drives the full sort on real tcp machines through
@@ -310,6 +348,10 @@ func runChaosCell(t *testing.T, p, faultRank int, sc chaosScenario, newStore fun
 			scfg.Machine = m
 			scfg.KeepOutput = false
 			scfg.Source = recSource
+			if sc.banded {
+				scfg.Randomize = false
+				scfg.Source = bandedSource
+			}
 			// Mirror the worker binary's publish protocol: stage to
 			// .tmp, rename only after a clean sort.
 			tmp := filepath.Join(outdir, fmt.Sprintf("part-%03d.tmp", rank))

@@ -403,10 +403,18 @@ func (e *endpoint) Rank() int { return e.rank }
 // P implements cluster.Transport.
 func (e *endpoint) P() int { return e.m.cfg.P }
 
-// charge applies a collective result to the PE's clock.
+// charge applies a collective result to the PE's clock. The forced
+// clock jump — from this PE's entry time to the collective's completion
+// — is the time it sat blocked waiting for stragglers and the wire, so
+// it is charged as blocked time (overlapped transfers that complete
+// before the PE arrives jump nothing and charge nothing).
 func (e *endpoint) charge(out collOut) {
+	entry := e.clock.Now()
 	e.clock.AdvanceTo(out.t)
 	st := e.clock.Cur()
+	if out.t > entry {
+		st.BlockedTime += out.t - entry
+	}
 	st.NetTime += out.net
 	st.Messages += out.msgs
 	st.BytesSent += out.sent
@@ -608,8 +616,12 @@ func (e *endpoint) Recv(src, tag int) []byte {
 		panic(abort{})
 	}
 	e.m.boxBytes.Add(-int64(len(msg.payload)))
+	entry := e.clock.Now()
 	e.clock.AdvanceTo(msg.arrival)
 	st := e.clock.Cur()
+	if msg.arrival > entry {
+		st.BlockedTime += msg.arrival - entry
+	}
 	st.BytesRecv += int64(len(msg.payload))
 	// Count the message on the receive side, matching the collectives
 	// (AllToAllv/AllGather/Bcast all count incoming messages only);

@@ -40,9 +40,10 @@ func confSource(rank int) (io.Reader, int64, error) {
 // sortStripedSim runs the striped workload on the sim backend and
 // returns what each rank's Sink received (its contiguous share of the
 // sorted output).
-func sortStripedSim(t *testing.T, p int) [][]byte {
+func sortStripedSim(t *testing.T, p int, overlap bool) [][]byte {
 	t.Helper()
 	cfg := stripedConfConfig(p)
+	cfg.Overlap = overlap
 	cfg.Source = confSource
 	out := make([][]byte, p)
 	var mu sync.Mutex
@@ -60,7 +61,7 @@ func sortStripedSim(t *testing.T, p int) [][]byte {
 
 // sortStripedTCP runs the same striped workload on p tcp machines and
 // returns the per-rank Sink streams.
-func sortStripedTCP(t *testing.T, p int, newStore func(rank int) (blockio.Store, error)) [][]byte {
+func sortStripedTCP(t *testing.T, p int, newStore func(rank int) (blockio.Store, error), overlap bool) [][]byte {
 	t.Helper()
 	peers := reservePorts(t, p)
 	out := make([][]byte, p)
@@ -84,6 +85,7 @@ func sortStripedTCP(t *testing.T, p int, newStore func(rank int) (blockio.Store,
 			}
 			defer m.Close()
 			cfg := stripedConfConfig(p)
+			cfg.Overlap = overlap
 			cfg.Machine = m
 			cfg.Source = confSource
 			cfg.Sink = func(r int, b []byte) error {
@@ -116,8 +118,8 @@ func TestSimTCPStripedConformance(t *testing.T) {
 				if store == "file" {
 					newStore = blockio.FileStoreFactory(t.TempDir(), confBlock)
 				}
-				simOut := sortStripedSim(t, p)
-				tcpOut := sortStripedTCP(t, p, newStore)
+				simOut := sortStripedSim(t, p, true)
+				tcpOut := sortStripedTCP(t, p, newStore, true)
 				for rank := 0; rank < p; rank++ {
 					if !bytes.Equal(simOut[rank], tcpOut[rank]) {
 						t.Fatalf("rank %d: striped sim and tcp streams differ (%d vs %d bytes)",

@@ -942,19 +942,14 @@ func (m *Machine) stalled(src int, pc *peerConn, start time.Time) error {
 	return nil
 }
 
-// sendFrame writes one frame to dst (self-delivery bypasses the
-// network and the byte counters, matching the sim backend). Writes are
-// bounded by OpTimeout so a wedged receiver with a full socket buffer
-// cannot block this rank forever; an abort elsewhere poisons the write
-// deadline and unwinds the sender immediately.
-func (m *Machine) sendFrame(dst, tag int, payload []byte) {
-	if m.abortFlag.Load() {
-		panic(tcpAbort{})
-	}
-	if dst == m.rank {
-		m.enqueue(m.peers[m.rank], frame{tag: tag, payload: payload})
-		return
-	}
+// writeFrame writes one frame to dst's socket and returns the write
+// error instead of failing the machine — the shared write path of the
+// PE goroutine (sendFrame) and the pipelined stream's background
+// sender, which must never panic or touch the PE-owned clock. Writes
+// are bounded by OpTimeout so a wedged receiver with a full socket
+// buffer cannot block a writer forever; an abort elsewhere poisons the
+// write deadline and unblocks it immediately.
+func (m *Machine) writeFrame(dst, tag int, payload []byte) error {
 	pc := m.peers[dst]
 	var hdr [12]byte
 	binary.LittleEndian.PutUint32(hdr[:4], uint32(int32(tag)))
@@ -973,6 +968,22 @@ func (m *Machine) sendFrame(dst, tag int, payload []byte) {
 	}
 	pc.lastSent.Store(time.Now().UnixNano())
 	pc.wmu.Unlock()
+	return err
+}
+
+// sendFrame writes one frame to dst (self-delivery bypasses the
+// network and the byte counters, matching the sim backend) and charges
+// the PE's accounting; the write duration counts as blocked time.
+func (m *Machine) sendFrame(dst, tag int, payload []byte) {
+	if m.abortFlag.Load() {
+		panic(tcpAbort{})
+	}
+	if dst == m.rank {
+		m.enqueue(m.peers[m.rank], frame{tag: tag, payload: payload})
+		return
+	}
+	t0 := time.Now()
+	err := m.writeFrame(dst, tag, payload)
 	if err != nil {
 		if m.abortFlag.Load() {
 			panic(tcpAbort{}) // the abort path poisoned this write
@@ -980,11 +991,12 @@ func (m *Machine) sendFrame(dst, tag int, payload []byte) {
 		m.failNow(cluster.Abortedf(dst, "tcp: rank %d send to %d: %w", m.rank, dst, err))
 	}
 	st := m.clock.Cur()
+	st.BlockedTime += time.Since(t0).Seconds()
 	st.BytesSent += int64(len(payload))
 }
 
 // recvFrame blocks for the next frame from src and enforces the tag
-// protocol; the wait is charged as network time.
+// protocol; the wait is charged as network and blocked time.
 func (m *Machine) recvFrame(src, tag int) []byte {
 	t0 := time.Now()
 	f, ok := m.popFrame(src)
@@ -998,7 +1010,9 @@ func (m *Machine) recvFrame(src, tag int) []byte {
 		m.failNow(cluster.Abortedf(m.rank, "tcp: rank %d expected tag %d from %d, got %d", m.rank, tag, src, f.tag))
 	}
 	st := m.clock.Cur()
-	st.NetTime += time.Since(t0).Seconds()
+	wait := time.Since(t0).Seconds()
+	st.NetTime += wait
+	st.BlockedTime += wait
 	if src != m.rank {
 		st.BytesRecv += int64(len(f.payload))
 		st.Messages++
@@ -1068,6 +1082,178 @@ func (m *Machine) AllToAllv(send [][]byte) [][]byte {
 		recv[q] = m.recvFrame(q, tagA2A)
 	}
 	return recv
+}
+
+// a2aStream is the pipelined AllToAllv path (cluster.A2AStream): a
+// background sender goroutine drains posted exchanges onto the wire in
+// 1-factor round order while the PE goroutine encodes the next
+// exchange or collects the previous one — the double-buffered
+// all-to-all of §IV-E. Per-peer frame order is preserved (one FIFO
+// sender, ordered TCP, no other collectives while the stream is open),
+// so a plain recvFrame sequence on the collect side matches exchanges
+// one to one.
+//
+// Division of labour: the sender goroutine only writes sockets and
+// recycles written buffers — it accumulates its wire accounting in an
+// atomic drained into the PE-owned clock at Collect/Close, and on a
+// write error it fails the machine via m.fail (never panic, which only
+// the PE goroutine may do) and exits. Abort unwinds close m.done,
+// which the sender selects on, so Close always joins in bounded time.
+type a2aStream struct {
+	m      *Machine
+	window int
+
+	sendQ      chan [][]byte // posted, not yet fully written; cap = window
+	senderDone chan struct{} // closed when the sender goroutine exits
+	closeOnce  sync.Once
+
+	selfQ  [][]byte // self payloads of posted exchanges, FIFO
+	posted int      // exchanges posted but not collected
+
+	sentBytes atomic.Int64 // wire bytes written by the sender, undrained
+}
+
+// OpenA2AStream implements cluster.StreamingTransport.
+func (m *Machine) OpenA2AStream(window int) cluster.A2AStream {
+	if window < 1 {
+		window = 1
+	}
+	// The queue holds posted-but-not-yet-dequeued exchanges, which can
+	// trail the posted-but-not-collected count: collecting exchange s
+	// only proves the peers wrote, not that our own sender was ever
+	// scheduled. Peers' equal windows bound the lag at one extra window,
+	// so 2·window slots keep Post non-blocking.
+	s := &a2aStream{
+		m:          m,
+		window:     window,
+		sendQ:      make(chan [][]byte, 2*window),
+		senderDone: make(chan struct{}),
+	}
+	m.bg.Add(1)
+	go s.sender()
+	return s
+}
+
+// Post implements cluster.A2AStream. It never blocks on the network:
+// the vector is handed to the sender goroutine, whose queue has room
+// for the full window by construction (posted ≤ window is enforced
+// here, and a collected exchange has always left the queue).
+func (s *a2aStream) Post(send [][]byte) {
+	m := s.m
+	if m.abortFlag.Load() {
+		panic(tcpAbort{})
+	}
+	if len(send) != m.p {
+		m.failNow(fmt.Errorf("tcp: A2AStream Post needs %d destination slots, got %d", m.p, len(send)))
+	}
+	if s.posted >= s.window {
+		m.failNow(fmt.Errorf("tcp: A2AStream window overflow: %d exchanges already in flight (window %d)", s.posted, s.window))
+	}
+	s.posted++
+	s.selfQ = append(s.selfQ, send[m.rank])
+	select {
+	case s.sendQ <- send:
+	default:
+		// Unreachable while every rank runs the same window (see the
+		// 2·window queue sizing in OpenA2AStream).
+		m.failNow(fmt.Errorf("tcp: A2AStream sender queue full despite window accounting"))
+	}
+}
+
+// Collect implements cluster.A2AStream: it receives the oldest posted
+// exchange's frames on the PE goroutine (recvFrame charges blocked and
+// network time per round) and drains the sender's wire accounting into
+// the phase stats.
+func (s *a2aStream) Collect() [][]byte {
+	m := s.m
+	if s.posted == 0 {
+		m.failNow(fmt.Errorf("tcp: A2AStream Collect without a posted exchange"))
+	}
+	s.posted--
+	recv := make([][]byte, m.p)
+	recv[m.rank] = s.selfQ[0] // self-message: delivered uncopied, off-network
+	s.selfQ[0] = nil
+	s.selfQ = s.selfQ[1:]
+	for r := 0; r < oneFactorRounds(m.p); r++ {
+		q := oneFactorPartner(m.rank, r, m.p)
+		if q < 0 {
+			continue
+		}
+		recv[q] = m.recvFrame(q, tagA2A)
+	}
+	m.clock.Cur().BytesSent += s.sentBytes.Swap(0)
+	return recv
+}
+
+// Close implements cluster.A2AStream: it stops the sender goroutine and
+// joins it (bounded even mid-abort — the poisoned write deadlines and
+// m.done unblock it), then releases any uncollected self payloads.
+// Idempotent; safe in deferred unwind paths.
+func (s *a2aStream) Close() {
+	s.closeOnce.Do(func() {
+		close(s.sendQ)
+		<-s.senderDone
+		for _, b := range s.selfQ {
+			bufpool.Put(b)
+		}
+		s.selfQ = nil
+		s.posted = 0
+		s.m.clock.Cur().BytesSent += s.sentBytes.Swap(0)
+	})
+}
+
+// sender drains posted exchanges onto the wire in posting order.
+func (s *a2aStream) sender() {
+	defer s.m.bg.Done()
+	defer close(s.senderDone)
+	for {
+		select {
+		case send, ok := <-s.sendQ:
+			if !ok {
+				return
+			}
+			if !s.writeExchange(send) {
+				return
+			}
+		case <-s.m.done:
+			return
+		}
+	}
+}
+
+// writeExchange writes one exchange's frames in 1-factor round order,
+// recycling each non-self payload to the arena once it is on the wire
+// (the PR 1 allocation discipline: double-buffer scratch comes from
+// bufpool and goes back per round). Returns false when the machine is
+// aborting or a write failed — the failure is recorded via m.fail and
+// the PE goroutine unwinds through its own blocked receive.
+func (s *a2aStream) writeExchange(send [][]byte) bool {
+	m := s.m
+	for r := 0; r < oneFactorRounds(m.p); r++ {
+		q := oneFactorPartner(m.rank, r, m.p)
+		if q < 0 {
+			continue
+		}
+		if m.abortFlag.Load() {
+			return false
+		}
+		payload := send[q]
+		if err := m.writeFrame(q, tagA2A, payload); err != nil {
+			// A killed or closed machine severed its own sockets: the
+			// write error is local, not the peer's fault — unwind without
+			// blaming q (a SIGKILLed worker broadcasts nothing).
+			if !m.abortFlag.Load() && !m.closed.Load() {
+				m.fail(cluster.Abortedf(q, "tcp: rank %d pipelined send to %d: %w", m.rank, q, err))
+			}
+			return false
+		}
+		s.sentBytes.Add(int64(len(payload)))
+		if payload != nil {
+			send[q] = nil
+			bufpool.Put(payload)
+		}
+	}
+	return true
 }
 
 // bcastTree distributes data down the binomial tree rooted at root
@@ -1321,8 +1507,9 @@ func (s *wallStats) Stats() (names []string, stats map[string]*vtime.PhaseStats)
 
 // Interface conformance.
 var (
-	_ cluster.Machine      = (*Machine)(nil)
-	_ cluster.Transport    = (*Machine)(nil)
-	_ cluster.MailboxStats = (*Machine)(nil)
-	_ cluster.Stats        = (*wallStats)(nil)
+	_ cluster.Machine            = (*Machine)(nil)
+	_ cluster.Transport          = (*Machine)(nil)
+	_ cluster.MailboxStats       = (*Machine)(nil)
+	_ cluster.StreamingTransport = (*Machine)(nil)
+	_ cluster.Stats              = (*wallStats)(nil)
 )

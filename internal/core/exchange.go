@@ -152,14 +152,29 @@ func exchange[T any](c elem.Codec[T], n *cluster.Node, cfg *Config, d derived, m
 		return lastVals
 	}
 
+	// Overlapped mode pipelines the sub-operations over an A2AStream
+	// with a 2-exchange window: sub-op s+1's send windows are read off
+	// disk and encoded while sub-op s is still on the wire, so encode
+	// and transfer overlap (§IV-E). The budget grows from two staged
+	// sub-op quotas (send + recv) to three (send in flight, next send,
+	// recv); k = 1 has nothing to pipeline.
+	overlap := cfg.Overlap && n.P > 1 && k > 1
+	budget := 2 * quota
+	if overlap {
+		budget = 3 * quota
+	}
 	if cfg.MemElems > 0 {
-		n.Mem.MustAcquire(2 * quota)
-		defer n.Mem.Release(2 * quota)
+		n.Mem.MustAcquire(budget)
+		defer n.Mem.Release(budget)
 	}
 
 	// ----- Execute k sub-operations -----
-	var decScratch []T // reused staging buffer for received pieces
-	for s := 0; s < k; s++ {
+	// buildSend assembles sub-op s's send vectors (sequentially, in
+	// sub-op order: it advances the per-block send accounting and the
+	// read cache); process consumes sub-op s's receives. The overlapped
+	// and synchronous paths below run exactly the same calls in the same
+	// per-PE order, so their output is byte-identical.
+	buildSend := func(s int) [][]byte {
 		send := make([][]byte, n.P)
 		for q := 0; q < n.P; q++ {
 			if q == me || sendTotal[q] == 0 {
@@ -201,9 +216,10 @@ func exchange[T any](c elem.Codec[T], n *cluster.Node, cfg *Config, d derived, m
 			send[q] = buf
 			n.AddCPU(cfg.Model.ScanCPU((wHi - wLo)))
 		}
-
-		recv := n.AllToAllv(send)
-
+		return send
+	}
+	var decScratch []T // reused staging buffer for received pieces
+	process := func(s int, recv [][]byte) error {
 		for p := 0; p < n.P; p++ {
 			if p == me || len(recv[p]) == 0 {
 				continue
@@ -211,7 +227,7 @@ func exchange[T any](c elem.Codec[T], n *cluster.Node, cfg *Config, d derived, m
 			wLo := recvTotal[p] * int64(s) / int64(k)
 			wHi := recvTotal[p] * int64(s+1) / int64(k)
 			if int64(len(recv[p])/sz) != wHi-wLo {
-				return nil, 0, fmt.Errorf("core: PE %d sub-op %d: got %d elements from %d, want %d",
+				return fmt.Errorf("core: PE %d sub-op %d: got %d elements from %d, want %d",
 					me, s, len(recv[p])/sz, p, wHi-wLo)
 			}
 			data := recv[p]
@@ -243,6 +259,27 @@ func exchange[T any](c elem.Codec[T], n *cluster.Node, cfg *Config, d derived, m
 		for ri := range writers {
 			for _, w := range writers[ri] {
 				w.suspend()
+			}
+		}
+		return nil
+	}
+	if overlap {
+		st := n.OpenA2AStream(2)
+		defer st.Close() // idempotent; releases the sender on error unwinds
+		st.Post(buildSend(0))
+		for s := 0; s < k; s++ {
+			if s+1 < k {
+				st.Post(buildSend(s + 1))
+			}
+			if err := process(s, st.Collect()); err != nil {
+				return nil, 0, err
+			}
+		}
+		st.Close()
+	} else {
+		for s := 0; s < k; s++ {
+			if err := process(s, n.AllToAllv(buildSend(s))); err != nil {
+				return nil, 0, err
 			}
 		}
 	}

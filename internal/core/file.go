@@ -276,21 +276,56 @@ func (r *reader[T]) next() (T, bool) {
 	return v, true
 }
 
-// streamRaw feeds a File's encoded bytes to fn in element order, one
-// extent at a time through a single pooled buffer — the zero-RAM-
-// footprint way to drain a sorted output file (Config.Sink). The
-// slice passed to fn is only valid for the duration of the call.
-func streamRaw[T any](c elem.Codec[T], vol *blockio.Volume, f File, fn func([]byte) error) error {
-	raw := bufpool.Get(vol.BlockBytes())
-	defer func() { bufpool.Put(raw) }()
-	for _, e := range f.Extents {
-		need := (e.Off + e.Len) * c.Size()
-		if cap(raw) < need {
-			bufpool.Put(raw)
-			raw = bufpool.Get(need)
+// streamRaw feeds a File's encoded bytes to fn in element order — the
+// zero-RAM-footprint way to drain a sorted output file (Config.Sink).
+// The slice passed to fn is only valid for the duration of the call.
+// With overlap the extents flow through two pooled buffers and extent
+// i+1's read is issued before fn consumes extent i, hiding the store
+// reads behind the sink writes; without it a single buffer is read
+// synchronously per extent.
+func streamRaw[T any](c elem.Codec[T], vol *blockio.Volume, f File, overlap bool, fn func([]byte) error) error {
+	if !overlap {
+		raw := bufpool.Get(vol.BlockBytes())
+		defer func() { bufpool.Put(raw) }()
+		for _, e := range f.Extents {
+			need := (e.Off + e.Len) * c.Size()
+			if cap(raw) < need {
+				bufpool.Put(raw)
+				raw = bufpool.Get(need)
+			}
+			vol.ReadWait(e.ID, raw[:need])
+			if err := fn(raw[e.Off*c.Size() : need]); err != nil {
+				return err
+			}
 		}
-		vol.ReadWait(e.ID, raw[:need])
-		if err := fn(raw[e.Off*c.Size() : need]); err != nil {
+		return nil
+	}
+	var bufs [2][]byte
+	var hs [2]blockio.Handle
+	bufs[0] = bufpool.Get(vol.BlockBytes())
+	bufs[1] = bufpool.Get(vol.BlockBytes())
+	defer func() { bufpool.Put(bufs[0]); bufpool.Put(bufs[1]) }()
+	issue := func(i int) {
+		e := f.Extents[i]
+		need := (e.Off + e.Len) * c.Size()
+		b := i & 1
+		if cap(bufs[b]) < need {
+			bufpool.Put(bufs[b])
+			bufs[b] = bufpool.Get(need)
+		}
+		bufs[b] = bufs[b][:need]
+		hs[b] = vol.ReadAsync(e.ID, bufs[b])
+	}
+	if len(f.Extents) > 0 {
+		issue(0)
+	}
+	for i, e := range f.Extents {
+		b := i & 1
+		vol.Wait(hs[b])
+		if i+1 < len(f.Extents) {
+			issue(i + 1)
+		}
+		if err := fn(bufs[b][e.Off*c.Size():]); err != nil {
 			return err
 		}
 	}
@@ -299,12 +334,18 @@ func streamRaw[T any](c elem.Codec[T], vol *blockio.Volume, f File, fn func([]by
 
 // loadStream fills a block-aligned File straight from an encoded byte
 // stream via blockio.FillFrom: no decode, no element slice — the load
-// phase's entire footprint is FillFrom's one staging buffer, which is
+// phase's entire footprint is FillFrom's staging buffers, which is
 // what keeps an -infile run at O(m) end-to-end memory. The caller
-// charges the staging block to the memory budget around the call.
-func loadStream[T any](c elem.Codec[T], vol *blockio.Volume, r io.Reader, n int64) (File, error) {
+// charges the staging block(s) to the memory budget around the call.
+// With overlap the source reads run on a stage goroutine ahead of the
+// store writes (blockio.FillFromOverlap).
+func loadStream[T any](c elem.Codec[T], vol *blockio.Volume, r io.Reader, n int64, overlap bool) (File, error) {
 	bElem := vol.BlockBytes() / c.Size()
-	spans, err := vol.FillFrom(r, n*int64(c.Size()), bElem*c.Size())
+	fill := vol.FillFrom
+	if overlap {
+		fill = vol.FillFromOverlap
+	}
+	spans, err := fill(r, n*int64(c.Size()), bElem*c.Size())
 	var f File
 	for _, sp := range spans {
 		f.Append(Extent{ID: sp.ID, Off: 0, Len: sp.Bytes / c.Size(), Own: true})

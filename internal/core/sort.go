@@ -84,6 +84,28 @@ func (r *Result[T]) PhaseBytes(phase string) (read, written int64) {
 	return read, written
 }
 
+// OverlapRatio returns the machine-wide overlap ratio of one phase:
+// 1 − (summed blocked time)/(summed wall time) across the PEs, the
+// share of the phase spent computing rather than stalled on the
+// network or a peer. Zero when the phase recorded no wall time.
+func (r *Result[T]) OverlapRatio(phase string) float64 {
+	var wall, blocked float64
+	for _, st := range r.PerPE {
+		if s, ok := st[phase]; ok {
+			wall += s.Wall
+			blocked += s.BlockedTime
+		}
+	}
+	if wall <= 0 {
+		return 0
+	}
+	ratio := 1 - blocked/wall
+	if ratio < 0 {
+		return 0
+	}
+	return ratio
+}
+
 // NetBytes returns machine-wide bytes sent over the network in a
 // phase (self-messages excluded): the communication-volume metric of
 // the paper's "communicate the data only once" claim.
@@ -299,10 +321,17 @@ func Sort[T any](c elem.Codec[T], cfg Config, input [][]T) (*Result[T], error) {
 			// the only load-phase memory is the staging block it charges.
 			var in File
 			if cfg.Source != nil {
-				n.Mem.MustAcquire(int64(d.bElem))
+				// Overlapped loading stages up to three chunks (two in
+				// the reader goroutine's bounded channel, one being
+				// written) instead of one.
+				stage := int64(d.bElem)
+				if cfg.Overlap {
+					stage = 3 * int64(d.bElem)
+				}
+				n.Mem.MustAcquire(stage)
 				var err error
-				in, err = loadStream(c, n.Vol, sources[n.Rank], sourceN[n.Rank])
-				n.Mem.Release(int64(d.bElem))
+				in, err = loadStream(c, n.Vol, sources[n.Rank], sourceN[n.Rank], cfg.Overlap)
+				n.Mem.Release(stage)
 				if err != nil {
 					return fmt.Errorf("core: input source, rank %d: %w", n.Rank, err)
 				}
@@ -381,7 +410,7 @@ func Sort[T any](c elem.Codec[T], cfg Config, input [][]T) (*Result[T], error) {
 			if cfg.KeepOutput {
 				kept = make([]T, 0, out.N)
 			}
-			err := streamRaw(c, n.Vol, out, func(b []byte) error {
+			err := streamRaw(c, n.Vol, out, cfg.Overlap, func(b []byte) error {
 				if cfg.KeepOutput {
 					kept = elem.AppendDecode(c, kept, b, len(b)/c.Size())
 				}

@@ -120,36 +120,44 @@ func TestSortSourceRejectsBothInputs(t *testing.T) {
 // TestSortSourceLoadPeakIsBlockSized pins the O(m) claim of the
 // streaming loader: an -infile-style run (gensort records streamed
 // from a Source onto a file-backed store) charges the load phase only
-// its one staging block, never the tile — LoadPeakMemElems stays at
-// B elements while the tile is three orders of magnitude larger.
+// its bounded staging — one block synchronously, three with the
+// overlapped reader pipeline — never the tile, which is three orders
+// of magnitude larger.
 func TestSortSourceLoadPeakIsBlockSized(t *testing.T) {
 	const p = 2
 	const nPer = 20000 // records per rank; tile = 2,000,000 bytes
-	rc := elem.Rec100Codec{}
-	cfg := DefaultConfig(p, 1<<13, 10*100)
-	cfg.Seed = 5
-	cfg.NewStore = blockio.FileStoreFactory(t.TempDir(), cfg.BlockBytes)
-	cfg.Source = func(rank int) (io.Reader, int64, error) {
-		return sortbench.NewReader(77, int64(rank)*nPer, nPer), nPer, nil
-	}
-	cfg.Sink = func(rank int, b []byte) error { return nil }
-	res, err := Sort[elem.Rec100](rc, cfg, nil)
-	if err != nil {
-		t.Fatal(err)
-	}
-	bElem := int64(res.BlockElems)
-	for rank, peak := range res.LoadPeakMemElems {
-		if peak > bElem {
-			t.Errorf("rank %d: load phase held %d elements, want <= one staging block (%d)", rank, peak, bElem)
+	for _, overlap := range []bool{false, true} {
+		rc := elem.Rec100Codec{}
+		cfg := DefaultConfig(p, 1<<13, 10*100)
+		cfg.Seed = 5
+		cfg.Overlap = overlap
+		cfg.NewStore = blockio.FileStoreFactory(t.TempDir(), cfg.BlockBytes)
+		cfg.Source = func(rank int) (io.Reader, int64, error) {
+			return sortbench.NewReader(77, int64(rank)*nPer, nPer), nPer, nil
 		}
-		if peak == 0 {
-			t.Errorf("rank %d: load phase charged nothing — the staging buffer is untracked", rank)
+		cfg.Sink = func(rank int, b []byte) error { return nil }
+		res, err := Sort[elem.Rec100](rc, cfg, nil)
+		if err != nil {
+			t.Fatal(err)
 		}
-	}
-	if bElem*100 > nPer {
-		t.Fatalf("test degenerate: block (%d elems) not far below the tile (%d)", bElem, nPer)
-	}
-	if res.N != int64(p)*nPer {
-		t.Fatalf("N = %d, want %d", res.N, int64(p)*nPer)
+		bElem := int64(res.BlockElems)
+		stage := bElem
+		if overlap {
+			stage = 3 * bElem
+		}
+		for rank, peak := range res.LoadPeakMemElems {
+			if peak > stage {
+				t.Errorf("overlap=%v rank %d: load phase held %d elements, want <= staging bound (%d)", overlap, rank, peak, stage)
+			}
+			if peak == 0 {
+				t.Errorf("overlap=%v rank %d: load phase charged nothing — the staging buffer is untracked", overlap, rank)
+			}
+		}
+		if bElem*100 > nPer {
+			t.Fatalf("test degenerate: block (%d elems) not far below the tile (%d)", bElem, nPer)
+		}
+		if res.N != int64(p)*nPer {
+			t.Fatalf("overlap=%v: N = %d, want %d", overlap, res.N, int64(p)*nPer)
+		}
 	}
 }

@@ -206,14 +206,22 @@ func Cuts[T any](c elem.Codec[T], n *cluster.Node, local []T, ranks []int64) []i
 				binary.LittleEndian.PutUint32(rec[:4], uint32(j))
 				rec[4] = cmdGather
 			default:
-				// Weighted median of the proposals.
+				// Weighted median of the proposals, keyed like
+				// countBefore: normalized keys first, comparator only
+				// on equal inexact keys.
+				key, exact := elem.KeyFn(c)
 				sort.Slice(cands, func(a, b int) bool {
 					pa, pb := cands[a], cands[b]
-					if c.Less(pa.v, pb.v) {
-						return true
+					if ka, kb := key(pa.v), key(pb.v); ka != kb {
+						return ka < kb
 					}
-					if c.Less(pb.v, pa.v) {
-						return false
+					if !exact {
+						if c.Less(pa.v, pb.v) {
+							return true
+						}
+						if c.Less(pb.v, pa.v) {
+							return false
+						}
 					}
 					if pa.q != pb.q {
 						return pa.q < pb.q
@@ -423,14 +431,24 @@ func Cuts[T any](c elem.Codec[T], n *cluster.Node, local []T, ranks []int64) []i
 
 // countBefore returns how many elements of local (owned by PE me)
 // order before the pivot (pv, pq, ppos) under (value, PE, position).
+// The binary search probes the codec's normalized uint64 keys first
+// (the pivot's key is computed once per search); the comparator runs
+// only on equal inexact keys — never for exact-keyed codecs.
 func countBefore[T any](c elem.Codec[T], local []T, me int, pv T, pq int, ppos int64) int64 {
+	key, exact := elem.KeyFn(c)
+	pk := key(pv)
 	return int64(sort.Search(len(local), func(j int) bool {
 		v := local[j]
-		if c.Less(v, pv) {
-			return false
+		if vk := key(v); vk != pk {
+			return vk > pk
 		}
-		if c.Less(pv, v) {
-			return true
+		if !exact {
+			if c.Less(v, pv) {
+				return false
+			}
+			if c.Less(pv, v) {
+				return true
+			}
 		}
 		if me != pq {
 			return me > pq

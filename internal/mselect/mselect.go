@@ -82,18 +82,44 @@ func Total[T any](acc Accessor[T]) int64 {
 	return n
 }
 
-// lessTot is the strict total order on (element, sequence, position).
-func lessTot[T any](c elem.Codec[T], a T, sa int, ia int64, b T, sb int, ib int64) bool {
-	if c.Less(a, b) {
-		return true
+// totOrder is the strict total order on (element, sequence, position),
+// probing the codec's normalized uint64 keys first: for exact-keyed
+// codecs (U64, KV16) the comparator never runs, and for inexact ones
+// (Rec100) it runs only on shared 8-byte prefixes. Non-keyed codecs
+// get a constant-zero key and always fall through to the comparator.
+type totOrder[T any] struct {
+	c     elem.Codec[T]
+	key   func(T) uint64
+	exact bool
+}
+
+func orderOf[T any](c elem.Codec[T]) totOrder[T] {
+	key, exact := elem.KeyFn(c)
+	return totOrder[T]{c: c, key: key, exact: exact}
+}
+
+// lessK compares with the keys already computed — the binary searches
+// precompute the pivot's key once per search instead of per probe.
+func (o totOrder[T]) lessK(ak uint64, a T, sa int, ia int64, bk uint64, b T, sb int, ib int64) bool {
+	if ak != bk {
+		return ak < bk
 	}
-	if c.Less(b, a) {
-		return false
+	if !o.exact {
+		if o.c.Less(a, b) {
+			return true
+		}
+		if o.c.Less(b, a) {
+			return false
+		}
 	}
 	if sa != sb {
 		return sa < sb
 	}
 	return ia < ib
+}
+
+func (o totOrder[T]) less(a T, sa int, ia int64, b T, sb int, ib int64) bool {
+	return o.lessK(o.key(a), a, sa, ia, o.key(b), b, sb, ib)
 }
 
 // Select returns the unique splitter positions for rank using pivot
@@ -105,6 +131,7 @@ func Select[T any](c elem.Codec[T], acc Accessor[T], rank int64) []int64 {
 	if rank < 0 || rank > total {
 		panic(fmt.Sprintf("mselect: rank %d out of range [0,%d]", rank, total))
 	}
+	ord := orderOf(c)
 	lo := make([]int64, r)
 	hi := make([]int64, r)
 	for q := 0; q < r; q++ {
@@ -123,6 +150,7 @@ func Select[T any](c elem.Codec[T], acc Accessor[T], rank int64) []int64 {
 		}
 		pi := (lo[best] + hi[best]) / 2
 		pv := acc.At(best, pi)
+		pk := ord.key(pv)
 		// split[q] = number of elements of q totally ordered before
 		// (pv, best, pi). Within a sequence the total order equals
 		// index order, so split[best] = pi and the others are found by
@@ -137,7 +165,7 @@ func Select[T any](c elem.Codec[T], acc Accessor[T], rank int64) []int64 {
 				qq := q
 				j := sort.Search(int(n), func(j int) bool {
 					v := acc.At(qq, int64(j))
-					return !lessTot(c, v, qq, int64(j), pv, best, pi)
+					return !ord.lessK(ord.key(v), v, qq, int64(j), pk, pv, best, pi)
 				})
 				split[q] = int64(j)
 			}
@@ -187,6 +215,7 @@ func StepHalving[T any](c elem.Codec[T], acc Accessor[T], rank int64, init []int
 	if rank < 0 || rank > total {
 		panic(fmt.Sprintf("mselect: rank %d out of range [0,%d]", rank, total))
 	}
+	ord := orderOf(c)
 	pos := make([]int64, r)
 	var count int64
 	for q := 0; q < r; q++ {
@@ -216,7 +245,7 @@ func StepHalving[T any](c elem.Codec[T], acc Accessor[T], rank int64, init []int
 				continue
 			}
 			v := acc.At(q, pos[q])
-			if best == -1 || lessTot(c, v, q, pos[q], bv, best, pos[best]) {
+			if best == -1 || ord.less(v, q, pos[q], bv, best, pos[best]) {
 				best, bv = q, v
 			}
 		}
@@ -232,7 +261,7 @@ func StepHalving[T any](c elem.Codec[T], acc Accessor[T], rank int64, init []int
 				continue
 			}
 			v := acc.At(q, pos[q]-1)
-			if best == -1 || lessTot(c, bv, best, pos[best]-1, v, q, pos[q]-1) {
+			if best == -1 || ord.less(bv, best, pos[best]-1, v, q, pos[q]-1) {
 				best, bv = q, v
 			}
 		}
@@ -293,7 +322,7 @@ func StepHalving[T any](c elem.Codec[T], acc Accessor[T], rank int64, init []int
 		}
 		lv := acc.At(qmax, pos[qmax]-1)
 		rv := acc.At(qmin, pos[qmin])
-		if !lessTot(c, rv, qmin, pos[qmin], lv, qmax, pos[qmax]-1) {
+		if !ord.less(rv, qmin, pos[qmin], lv, qmax, pos[qmax]-1) {
 			break
 		}
 		pos[qmax]--
@@ -391,6 +420,7 @@ func IntervalsAround(cuts, lens []int64, margin int64) (lo, hi []int64) {
 // the caller must fall back to a full-range Select.
 func SelectInterval[T any](c elem.Codec[T], acc Accessor[T], rank int64, lo0, hi0 []int64) (pos []int64, ok bool) {
 	r := acc.Seqs()
+	ord := orderOf(c)
 	lo := make([]int64, r)
 	hi := make([]int64, r)
 	copy(lo, lo0)
@@ -418,13 +448,14 @@ func SelectInterval[T any](c elem.Codec[T], acc Accessor[T], rank int64, lo0, hi
 		}
 		pi := (lo[best] + hi[best]) / 2
 		pv := acc.At(best, pi)
+		pk := ord.key(pv)
 		var cnt int64
 		split := make([]int64, r)
 		for q := 0; q < r; q++ {
 			if q == best {
 				split[q] = pi
 			} else {
-				split[q] = searchBefore(c, acc, q, pv, best, pi, lo[q], hi[q])
+				split[q] = searchBefore(ord, acc, q, pk, pv, best, pi, lo[q], hi[q])
 			}
 			cnt += split[q]
 		}
@@ -468,16 +499,16 @@ func SelectInterval[T any](c elem.Codec[T], acc Accessor[T], rank int64, lo0, hi
 }
 
 // searchBefore returns the exact number of elements of sequence q that
-// order (totally) before the pivot (pv, ps, pi), i.e. the first index j
-// where the monotone predicate "element j before pivot" turns false.
-// The search is seeded with [glo, ghi]; two boundary probes detect the
-// (rare) case that the answer lies outside and redirect the search, so
-// exactness never depends on the seed.
-func searchBefore[T any](c elem.Codec[T], acc Accessor[T], q int, pv T, ps int, pi int64, glo, ghi int64) int64 {
+// order (totally) before the pivot (pk, pv, ps, pi), i.e. the first
+// index j where the monotone predicate "element j before pivot" turns
+// false. The search is seeded with [glo, ghi]; two boundary probes
+// detect the (rare) case that the answer lies outside and redirect the
+// search, so exactness never depends on the seed.
+func searchBefore[T any](ord totOrder[T], acc Accessor[T], q int, pk uint64, pv T, ps int, pi int64, glo, ghi int64) int64 {
 	n := acc.Len(q)
 	before := func(j int64) bool {
 		v := acc.At(q, j)
-		return lessTot(c, v, q, j, pv, ps, pi)
+		return ord.lessK(ord.key(v), v, q, j, pk, pv, ps, pi)
 	}
 	a, b := glo, ghi // answer assumed in [a, b]
 	if a > 0 && !before(a-1) {
@@ -510,6 +541,7 @@ func Partition[T any](c elem.Codec[T], seqs [][]T, ranks []int64) [][]int64 {
 // acc at rank: positions sum to rank and max-left orders before
 // min-right. It returns an error describing the first violation.
 func CheckPartition[T any](c elem.Codec[T], acc Accessor[T], rank int64, pos []int64) error {
+	ord := orderOf(c)
 	var sum int64
 	for q := range pos {
 		if pos[q] < 0 || pos[q] > acc.Len(q) {
@@ -527,7 +559,7 @@ func CheckPartition[T any](c elem.Codec[T], acc Accessor[T], rank int64, pos []i
 			continue
 		}
 		v := acc.At(q, pos[q]-1)
-		if maxQ == -1 || lessTot(c, maxV, maxQ, pos[maxQ]-1, v, q, pos[q]-1) {
+		if maxQ == -1 || ord.less(maxV, maxQ, pos[maxQ]-1, v, q, pos[q]-1) {
 			maxQ, maxV = q, v
 		}
 	}
@@ -538,12 +570,12 @@ func CheckPartition[T any](c elem.Codec[T], acc Accessor[T], rank int64, pos []i
 			continue
 		}
 		v := acc.At(q, pos[q])
-		if minQ == -1 || lessTot(c, v, q, pos[q], minV, minQ, pos[minQ]) {
+		if minQ == -1 || ord.less(v, q, pos[q], minV, minQ, pos[minQ]) {
 			minQ, minV = q, v
 		}
 	}
 	if maxQ != -1 && minQ != -1 &&
-		lessTot(c, minV, minQ, pos[minQ], maxV, maxQ, pos[maxQ]-1) {
+		ord.less(minV, minQ, pos[minQ], maxV, maxQ, pos[maxQ]-1) {
 		return fmt.Errorf("mselect: left element (seq %d pos %d) orders after right element (seq %d pos %d)",
 			maxQ, pos[maxQ]-1, minQ, pos[minQ])
 	}

@@ -33,9 +33,17 @@ func runPE[T any](c elem.Codec[T], n *cluster.Node, cfg *Config, bElem, bpr int,
 	}
 	var inBlocks []inBlock
 	if src != nil {
-		n.Mem.MustAcquire(int64(bElem)) // FillFrom's staging block
-		spans, err := n.Vol.FillFrom(src, srcN*int64(sz), bElem*sz)
-		n.Mem.Release(int64(bElem))
+		// Staging blocks charged to the budget: one synchronous, three
+		// when the reader goroutine stages ahead of the store writes.
+		stage := int64(bElem)
+		fill := n.Vol.FillFrom
+		if cfg.Overlap {
+			stage = 3 * int64(bElem)
+			fill = n.Vol.FillFromOverlap
+		}
+		n.Mem.MustAcquire(stage)
+		spans, err := fill(src, srcN*int64(sz), bElem*sz)
+		n.Mem.Release(stage)
 		if err != nil {
 			for _, sp := range spans {
 				n.Vol.Free(sp.ID)
@@ -584,8 +592,12 @@ func collectOutput[T any](c elem.Codec[T], n *cluster.Node, cfg *Config, bElem i
 	}
 	ptr := 0
 	var sunk int64
-	for w0 := int64(0); w0 < total; w0 += w {
-		w1 := w0 + w
+	// buildSend stages the blocks of output indices [w0, w1) and charges
+	// their elements to the budget (released once the exchange that
+	// carries them completes); drain sinks one window's receives. The
+	// overlapped and synchronous paths below issue the same calls in the
+	// same per-PE order, so the sink streams are byte-identical.
+	buildSend := func(w1 int64) ([][]byte, int64) {
 		send := make([][]byte, n.P)
 		var sendElems int64
 		for ptr < len(blocks) && blocks[ptr].idx < w1 {
@@ -602,8 +614,9 @@ func collectOutput[T any](c elem.Codec[T], n *cluster.Node, cfg *Config, bElem i
 			n.Vol.Free(b.id)
 		}
 		n.Mem.MustAcquire(sendElems)
-		recv := n.AllToAllv(send)
-		n.Mem.Release(sendElems) // send copies handed off to receivers
+		return send, sendElems
+	}
+	drain := func(recv [][]byte) error {
 		var entries []entry
 		var recvElems int64
 		for p := 0; p < n.P; p++ {
@@ -620,12 +633,51 @@ func collectOutput[T any](c elem.Codec[T], n *cluster.Node, cfg *Config, bElem i
 		sort.Slice(entries, func(i, j int) bool { return entries[i].idx < entries[j].idx })
 		for _, e := range entries {
 			if err := sink(n.Rank, e.data); err != nil {
-				return sunk, fmt.Errorf("stripesort: output sink, rank %d: %w", n.Rank, err)
+				return fmt.Errorf("stripesort: output sink, rank %d: %w", n.Rank, err)
 			}
 			sunk += int64(len(e.data)) / int64(sz)
 		}
 		cluster.RecycleRecv(recv)
 		n.Mem.Release(recvElems)
+		return nil
+	}
+	nWin := (total + w - 1) / w
+	if cfg.Overlap && n.P > 1 && nWin > 1 {
+		// Pipelined collect (§IV-E): window wi+1's blocks are read off
+		// the store and staged while window wi is still on the wire, so
+		// the part-file sink writes overlap the next exchange. At most
+		// two windows' send staging plus one window's receives are live,
+		// each bounded by w blocks.
+		st := n.OpenA2AStream(2)
+		defer st.Close() // idempotent; releases the sender on error unwinds
+		inFlight := make([]int64, 0, 2)
+		post := func(wi int64) {
+			send, elems := buildSend(min64((wi+1)*w, total))
+			st.Post(send)
+			inFlight = append(inFlight, elems)
+		}
+		post(0)
+		for wi := int64(0); wi < nWin; wi++ {
+			if wi+1 < nWin {
+				post(wi + 1)
+			}
+			recv := st.Collect()
+			n.Mem.Release(inFlight[0]) // send copies delivered
+			inFlight = inFlight[1:]
+			if err := drain(recv); err != nil {
+				return sunk, err
+			}
+		}
+		st.Close()
+	} else {
+		for w0 := int64(0); w0 < total; w0 += w {
+			send, sendElems := buildSend(min64(w0+w, total))
+			recv := n.AllToAllv(send)
+			n.Mem.Release(sendElems) // send copies handed off to receivers
+			if err := drain(recv); err != nil {
+				return sunk, err
+			}
+		}
 	}
 	return sunk, nil
 }

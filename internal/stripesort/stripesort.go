@@ -155,6 +155,26 @@ func (r *Result[T]) PhaseBytes(phase string) (read, written int64) {
 	return read, written
 }
 
+// OverlapRatio mirrors core.Result: 1 − blocked/wall for one phase,
+// summed across the PEs and clamped to [0, 1].
+func (r *Result[T]) OverlapRatio(phase string) float64 {
+	var wall, blocked float64
+	for _, st := range r.PerPE {
+		if s, ok := st[phase]; ok {
+			wall += s.Wall
+			blocked += s.BlockedTime
+		}
+	}
+	if wall <= 0 {
+		return 0
+	}
+	ratio := 1 - blocked/wall
+	if ratio < 0 {
+		return 0
+	}
+	return ratio
+}
+
 // NetBytes returns machine-wide network bytes sent in a phase.
 func (r *Result[T]) NetBytes(phase string) int64 {
 	var b int64

@@ -182,6 +182,12 @@ type PhaseStats struct {
 	IOTime  float64 // disk busy seconds attributed to the phase
 	NetTime float64 // network transfer seconds
 	CPUTime float64 // internal computation seconds
+	// BlockedTime is the share of Wall the PE spent stalled on another
+	// resource — waiting in a collective or Recv for data that had not
+	// arrived, or for a socket write to drain — as opposed to computing.
+	// 1 - BlockedTime/Wall is the phase's overlap ratio: the fraction of
+	// the phase during which communication and I/O hid behind compute.
+	BlockedTime float64
 
 	BytesRead     int64
 	BytesWritten  int64
@@ -192,12 +198,26 @@ type PhaseStats struct {
 	Messages      int64
 }
 
+// OverlapRatio returns the fraction of the phase's wall time not spent
+// blocked on communication (0 when the phase has no wall time).
+func (s *PhaseStats) OverlapRatio() float64 {
+	if s.Wall <= 0 {
+		return 0
+	}
+	r := 1 - s.BlockedTime/s.Wall
+	if r < 0 {
+		return 0
+	}
+	return r
+}
+
 // Add accumulates o into s.
 func (s *PhaseStats) Add(o *PhaseStats) {
 	s.Wall += o.Wall
 	s.IOTime += o.IOTime
 	s.NetTime += o.NetTime
 	s.CPUTime += o.CPUTime
+	s.BlockedTime += o.BlockedTime
 	s.BytesRead += o.BytesRead
 	s.BytesWritten += o.BytesWritten
 	s.BlocksRead += o.BlocksRead
