@@ -1,0 +1,41 @@
+# Local entry points mirroring the CI gates. `make lint` is the same
+# static-analysis sweep the blocking CI lint job runs (staticcheck is
+# skipped with a note when the binary isn't installed — CI always runs
+# it).
+
+GO ?= go
+BIN := bin
+
+.PHONY: all build lint vet demsortvet staticcheck test race clean
+
+all: build lint test
+
+build:
+	$(GO) build ./...
+
+lint: vet demsortvet staticcheck
+
+vet:
+	$(GO) vet ./...
+
+demsortvet:
+	@mkdir -p $(BIN)
+	$(GO) build -o $(BIN)/demsortvet ./cmd/demsortvet
+	$(GO) vet -vettool=$(CURDIR)/$(BIN)/demsortvet ./...
+	$(GO) test -timeout 120s ./internal/analysis/...
+
+staticcheck:
+	@if command -v staticcheck >/dev/null 2>&1; then \
+		staticcheck ./...; \
+	else \
+		echo "staticcheck not installed; skipping (CI runs it)"; \
+	fi
+
+test:
+	$(GO) test -timeout 900s ./...
+
+race:
+	$(GO) test -race -timeout 900s ./...
+
+clean:
+	rm -rf $(BIN)

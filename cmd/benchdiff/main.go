@@ -9,15 +9,22 @@
 // wire it in as a non-blocking report; -strict exits 1 when
 // regressions were flagged (for local gating).
 //
+// -lint-clean=false (wired from CI's lint-job result) declares the
+// tree lint-dirty: benchdiff then refuses to compare and tells the
+// caller to skip the BENCH.json upload, so a tree that violates the
+// demsortvet contracts never contributes a point to the perf
+// trajectory.
+//
 // Usage:
 //
-//	benchdiff [-threshold 5] [-strict] old/BENCH.json new/BENCH.json
+//	benchdiff [-threshold 5] [-strict] [-lint-clean=true] old/BENCH.json new/BENCH.json
 package main
 
 import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 )
 
@@ -50,13 +57,32 @@ type regression struct {
 	x, oldY, newY  float64
 }
 
+// lintDirtyNotice is printed (and the comparison skipped) when the
+// caller reports a failed lint gate; CI greps for it to suppress the
+// BENCH.json artifact upload.
+const lintDirtyNotice = "benchdiff: WARNING: lint gate failed; skipping comparison and BENCH.json upload for a lint-dirty tree"
+
+// lintGateSkips implements the -lint-clean gate: on a lint-dirty tree
+// it emits the notice and reports that the comparison must be skipped.
+func lintGateSkips(lintClean bool, w io.Writer) bool {
+	if lintClean {
+		return false
+	}
+	fmt.Fprintln(w, lintDirtyNotice)
+	return true
+}
+
 func main() {
 	threshold := flag.Float64("threshold", 5, "regression threshold in percent")
 	strict := flag.Bool("strict", false, "exit non-zero when regressions are flagged")
+	lintClean := flag.Bool("lint-clean", true, "whether the lint gate passed; false skips the comparison and warns")
 	flag.Parse()
 	if flag.NArg() != 2 {
-		fmt.Fprintln(os.Stderr, "usage: benchdiff [-threshold 5] [-strict] <old BENCH.json> <new BENCH.json>")
+		fmt.Fprintln(os.Stderr, "usage: benchdiff [-threshold 5] [-strict] [-lint-clean=true] <old BENCH.json> <new BENCH.json>")
 		os.Exit(2)
+	}
+	if lintGateSkips(*lintClean, os.Stdout) {
+		return
 	}
 	oldDoc, err := load(flag.Arg(0))
 	fail(err)

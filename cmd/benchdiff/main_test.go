@@ -1,6 +1,26 @@
 package main
 
-import "testing"
+import (
+	"strings"
+	"testing"
+)
+
+func TestLintGateSkipsDirtyTree(t *testing.T) {
+	var out strings.Builder
+	if !lintGateSkips(false, &out) {
+		t.Fatal("lint-dirty tree must skip the comparison")
+	}
+	if !strings.Contains(out.String(), "skipping comparison and BENCH.json upload") {
+		t.Fatalf("missing skip warning, got %q", out.String())
+	}
+	out.Reset()
+	if lintGateSkips(true, &out) {
+		t.Fatal("lint-clean tree must not skip")
+	}
+	if out.String() != "" {
+		t.Fatalf("clean gate must be silent, got %q", out.String())
+	}
+}
 
 func mkDoc(y1, y2 float64, elapsed float64) *doc {
 	return &doc{

@@ -1,0 +1,100 @@
+// Command demsortvet is the repo's invariant suite: five custom
+// analyzers that mechanically enforce the contracts the tier-1
+// byte-identical property rests on (see the analyzer packages under
+// internal/analysis for the contracts and the PRs that motivated
+// them).
+//
+// Two modes:
+//
+//	go run ./cmd/demsortvet ./...         # standalone multichecker
+//	go vet -vettool=$(pwd)/bin/demsortvet ./...   # vet tool protocol
+//
+// The standalone mode loads packages itself (go list -export) and is
+// the local entry point (`make lint`); the vet-tool mode speaks the
+// cmd/go unit-checker protocol so CI runs the suite with vet's
+// caching and test-package coverage. Deliberate exceptions are
+// annotated in the source with `//lint:allow <analyzer> <reason>`.
+package main
+
+import (
+	"fmt"
+	"os"
+	"strings"
+
+	"demsort/internal/analysis"
+	"demsort/internal/analysis/abortcheck"
+	"demsort/internal/analysis/bufpoolcheck"
+	"demsort/internal/analysis/gojoin"
+	"demsort/internal/analysis/load"
+	"demsort/internal/analysis/phasestats"
+	"demsort/internal/analysis/wallclock"
+)
+
+// suite is the full demsortvet analyzer set.
+var suite = []*analysis.Analyzer{
+	bufpoolcheck.Analyzer,
+	wallclock.Analyzer,
+	phasestats.Analyzer,
+	abortcheck.Analyzer,
+	gojoin.Analyzer,
+}
+
+func main() {
+	args := os.Args[1:]
+	// cmd/go's vettool protocol: version probe, flag discovery, then
+	// one invocation per package with a JSON config file.
+	for _, a := range args {
+		if a == "-V=full" || a == "--V=full" {
+			fmt.Println("demsortvet version 1")
+			return
+		}
+		if a == "-flags" || a == "--flags" {
+			fmt.Println("[]")
+			return
+		}
+	}
+	if len(args) == 1 && strings.HasSuffix(args[0], ".cfg") {
+		unitcheckerMode(args[0])
+		return
+	}
+	standalone(args)
+}
+
+func standalone(patterns []string) {
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	for _, p := range patterns {
+		if strings.HasPrefix(p, "-") {
+			fmt.Fprintf(os.Stderr, "demsortvet: unknown flag %s\nusage: demsortvet [packages]\n", p)
+			for _, a := range suite {
+				fmt.Fprintf(os.Stderr, "\n%s: %s\n", a.Name, a.Doc)
+			}
+			os.Exit(2)
+		}
+	}
+	pkgs, err := load.Load(".", patterns...)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "demsortvet:", err)
+		os.Exit(1)
+	}
+	bad := false
+	for _, p := range pkgs {
+		for _, terr := range p.TypeErrors {
+			fmt.Fprintf(os.Stderr, "demsortvet: %s: type error: %v\n", p.ImportPath, terr)
+			bad = true
+		}
+		diags, err := analysis.Run(&analysis.Unit{Fset: p.Fset, Files: p.Files, Pkg: p.Types, Info: p.Info}, suite)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "demsortvet:", err)
+			os.Exit(1)
+		}
+		for _, d := range diags {
+			fmt.Fprintln(os.Stderr, d)
+			bad = true
+		}
+	}
+	if bad {
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,163 @@
+// Package abortcheck enforces the failure-plane blame contract: every
+// error that crosses the cluster boundary out of a backend's
+// Machine.Run must be a typed *cluster.ErrAborted (built with
+// cluster.Abortedf / cluster.AsAborted or the struct literal), never a
+// bare fmt.Errorf / errors.New. The fleet-wide invariant from PR 6 is
+// that every rank of an aborted run reports the same blame — "aborted:
+// rank 2: …" on every survivor — and one untyped return from one
+// backend breaks it for the whole fleet (the PR-8 background-sender
+// bug was exactly a mis-attributed failure escaping a backend).
+//
+// The check applies to methods named Run on types implementing
+// cluster.Machine, in any package: a return statement (or an
+// assignment to a named error result) whose error operand is a direct
+// fmt.Errorf or errors.New call is flagged.
+package abortcheck
+
+import (
+	"go/ast"
+	"go/types"
+
+	"demsort/internal/analysis"
+)
+
+const clusterPath = "demsort/internal/cluster"
+
+// Analyzer is the blame-typing checker.
+var Analyzer = &analysis.Analyzer{
+	Name: "abortcheck",
+	Doc: "Machine.Run implementations must return *cluster.ErrAborted " +
+		"(Abortedf/AsAborted), never bare fmt.Errorf/errors.New, so every " +
+		"rank reports consistent blame",
+	Run: run,
+}
+
+func run(pass *analysis.Pass) error {
+	iface := machineInterface(pass.Pkg)
+	if iface == nil {
+		return nil // package doesn't see cluster.Machine at all
+	}
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil || fd.Recv == nil || fd.Name.Name != "Run" {
+				continue
+			}
+			if !receiverImplementsMachine(pass.TypesInfo, fd, iface) {
+				continue
+			}
+			checkRun(pass, fd)
+		}
+	}
+	return nil
+}
+
+// machineInterface digs the cluster.Machine interface type out of the
+// package's imports (directly, or through the cluster package itself).
+func machineInterface(pkg *types.Package) *types.Interface {
+	var find func(p *types.Package) *types.Interface
+	seen := map[*types.Package]bool{}
+	find = func(p *types.Package) *types.Interface {
+		if seen[p] {
+			return nil
+		}
+		seen[p] = true
+		if p.Path() == clusterPath {
+			if obj, ok := p.Scope().Lookup("Machine").(*types.TypeName); ok {
+				if iface, ok := obj.Type().Underlying().(*types.Interface); ok {
+					return iface
+				}
+			}
+			return nil
+		}
+		for _, imp := range p.Imports() {
+			if iface := find(imp); iface != nil {
+				return iface
+			}
+		}
+		return nil
+	}
+	if pkg.Path() == clusterPath {
+		return find(pkg)
+	}
+	return find(pkg)
+}
+
+func receiverImplementsMachine(info *types.Info, fd *ast.FuncDecl, iface *types.Interface) bool {
+	if len(fd.Recv.List) == 0 {
+		return false
+	}
+	tv, ok := info.Types[fd.Recv.List[0].Type]
+	if !ok {
+		return false
+	}
+	t := tv.Type
+	if types.Implements(t, iface) {
+		return true
+	}
+	if _, isPtr := t.(*types.Pointer); !isPtr {
+		return types.Implements(types.NewPointer(t), iface)
+	}
+	return false
+}
+
+// checkRun flags untyped error constructions escaping the Run method:
+// in return statements and in assignments to the named error result.
+func checkRun(pass *analysis.Pass, fd *ast.FuncDecl) {
+	// Named error results, so `err = fmt.Errorf(...); return` is caught.
+	namedErr := map[types.Object]bool{}
+	if fd.Type.Results != nil {
+		for _, field := range fd.Type.Results.List {
+			for _, name := range field.Names {
+				if obj := pass.TypesInfo.Defs[name]; obj != nil && isErrorType(obj.Type()) {
+					namedErr[obj] = true
+				}
+			}
+		}
+	}
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch s := n.(type) {
+		case *ast.ReturnStmt:
+			for _, res := range s.Results {
+				if bad, what := untypedErrorCall(pass.TypesInfo, res); bad {
+					pass.Reportf(res.Pos(),
+						"%s returned from %s.Run: wrap with cluster.Abortedf/AsAborted so every rank reports typed blame",
+						what, pass.Pkg.Name())
+				}
+			}
+		case *ast.AssignStmt:
+			for i, l := range s.Lhs {
+				id, ok := l.(*ast.Ident)
+				if !ok || !namedErr[pass.TypesInfo.Uses[id]] || i >= len(s.Rhs) {
+					continue
+				}
+				if bad, what := untypedErrorCall(pass.TypesInfo, s.Rhs[i]); bad {
+					pass.Reportf(s.Rhs[i].Pos(),
+						"%s assigned to %s.Run's error result: wrap with cluster.Abortedf/AsAborted so every rank reports typed blame",
+						what, pass.Pkg.Name())
+				}
+			}
+		}
+		return true
+	})
+}
+
+func isErrorType(t types.Type) bool {
+	return types.Identical(t, types.Universe.Lookup("error").Type())
+}
+
+// untypedErrorCall reports whether expr is a direct fmt.Errorf or
+// errors.New construction.
+func untypedErrorCall(info *types.Info, expr ast.Expr) (bool, string) {
+	call, ok := ast.Unparen(expr).(*ast.CallExpr)
+	if !ok {
+		return false, ""
+	}
+	if analysis.IsPkgFunc(info, call, "fmt", "Errorf") {
+		return true, "bare fmt.Errorf"
+	}
+	if analysis.IsPkgFunc(info, call, "errors", "New") {
+		return true, "bare errors.New"
+	}
+	return false, ""
+}

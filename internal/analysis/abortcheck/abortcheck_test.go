@@ -1,0 +1,12 @@
+package abortcheck_test
+
+import (
+	"testing"
+
+	"demsort/internal/analysis/abortcheck"
+	"demsort/internal/analysis/atest"
+)
+
+func TestAbortcheck(t *testing.T) {
+	atest.Run(t, abortcheck.Analyzer, "testdata/src/abort", "demsort/internal/cluster/tcp")
+}

@@ -1,0 +1,66 @@
+// Fixture for abortcheck: untyped errors escaping a Machine.Run break
+// the fleet-wide blame invariant (every rank of an aborted run prints
+// the same `aborted: rank N: …`), the PR-8 mis-blame class.
+package tcp
+
+import (
+	"errors"
+	"fmt"
+
+	"demsort/internal/cluster"
+)
+
+// machine implements cluster.Machine and leaks untyped errors.
+type machine struct{}
+
+func (m *machine) Run(fn func(*cluster.Node) error) error {
+	if fn == nil {
+		return fmt.Errorf("tcp: no program") // want `bare fmt.Errorf returned`
+	}
+	return nil
+}
+
+func (m *machine) Nodes() []*cluster.Node { return nil }
+func (m *machine) P() int                 { return 1 }
+func (m *machine) Abort(cause error)      {}
+func (m *machine) Close() error           { return nil }
+
+// named implements cluster.Machine with a named error result: the
+// assignment path must be caught too.
+type named struct{ machine }
+
+func (m *named) Run(fn func(*cluster.Node) error) (err error) {
+	if fn == nil {
+		err = errors.New("tcp: no program") // want `bare errors.New assigned`
+		return err
+	}
+	return cluster.Abortedf(0, "typed failure")
+}
+
+// typed implements cluster.Machine correctly: constructor helpers and
+// pass-through identifiers are fine.
+type typed struct{ machine }
+
+func (m *typed) Run(fn func(*cluster.Node) error) error {
+	err := fn(nil)
+	if err != nil {
+		return cluster.AsAborted(0, err)
+	}
+	return &cluster.ErrAborted{Rank: cluster.JobRank, Cause: nil}
+}
+
+// notMachine does not implement cluster.Machine: its Run is out of
+// scope regardless of what it returns.
+type notMachine struct{}
+
+func (n *notMachine) Run() error {
+	return fmt.Errorf("plain error from a plain type")
+}
+
+// allowed is a deliberate exception on a Machine implementation.
+type allowed struct{ machine }
+
+func (m *allowed) Run(fn func(*cluster.Node) error) error {
+	//lint:allow abortcheck fixture: pre-run config validation, no blame yet
+	return fmt.Errorf("config invalid before any rank ran")
+}

@@ -1,0 +1,153 @@
+// Package atest is the fixture harness for the demsortvet analyzers —
+// a miniature of golang.org/x/tools/go/analysis/analysistest. A
+// testdata package is parsed and type-checked under an import path the
+// test chooses (so path-gated analyzers behave as they would in the
+// real tree), the analyzer runs, and its diagnostics are matched
+// against `// want "regexp"` comments: every want must be satisfied by
+// a diagnostic on its line, and every diagnostic must be wanted.
+package atest
+
+import (
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strings"
+	"testing"
+
+	"demsort/internal/analysis"
+	"demsort/internal/analysis/load"
+)
+
+// wantRe pulls the expectation strings off a `// want "a" "b"` comment.
+var wantRe = regexp.MustCompile(`//\s*want\s+(.*)$`)
+
+// moduleDir locates the module root from the test's working directory
+// (tests run in their package directory).
+func moduleDir(t *testing.T) string {
+	dir, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			t.Fatal("no go.mod above test directory")
+		}
+		dir = parent
+	}
+}
+
+type expectation struct {
+	file string
+	line int
+	re   *regexp.Regexp
+	met  bool
+}
+
+// parseWants extracts the expectations from every fixture file.
+func parseWants(t *testing.T, filenames []string) []*expectation {
+	var wants []*expectation
+	for _, name := range filenames {
+		data, err := os.ReadFile(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, lineText := range strings.Split(string(data), "\n") {
+			m := wantRe.FindStringSubmatch(lineText)
+			if m == nil {
+				continue
+			}
+			rest := m[1]
+			for {
+				rest = strings.TrimSpace(rest)
+				if rest == "" {
+					break
+				}
+				quote := rest[0]
+				if quote != '"' && quote != '`' {
+					t.Fatalf("%s:%d: malformed want clause %q", name, i+1, rest)
+				}
+				end := strings.IndexByte(rest[1:], quote)
+				if end < 0 {
+					t.Fatalf("%s:%d: unterminated want pattern", name, i+1)
+				}
+				pat := rest[1 : 1+end]
+				rest = rest[end+2:]
+				re, err := regexp.Compile(pat)
+				if err != nil {
+					t.Fatalf("%s:%d: bad want pattern %q: %v", name, i+1, pat, err)
+				}
+				wants = append(wants, &expectation{file: name, line: i + 1, re: re})
+			}
+		}
+	}
+	return wants
+}
+
+// Run type-checks the fixture package rooted at dir under pkgPath,
+// runs the analyzer, and reports any mismatch between produced and
+// wanted diagnostics on t.
+func Run(t *testing.T, a *analysis.Analyzer, dir, pkgPath string) {
+	t.Helper()
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var filenames []string
+	for _, e := range entries {
+		if !e.IsDir() && strings.HasSuffix(e.Name(), ".go") {
+			filenames = append(filenames, filepath.Join(dir, e.Name()))
+		}
+	}
+	sort.Strings(filenames)
+	if len(filenames) == 0 {
+		t.Fatalf("no fixture files in %s", dir)
+	}
+	pkg, err := load.LoadFiles(moduleDir(t), pkgPath, filenames)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, terr := range pkg.TypeErrors {
+		t.Errorf("fixture type error: %v", terr)
+	}
+	diags, err := analysis.Run(unitOf(pkg), []*analysis.Analyzer{a})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wants := parseWants(t, filenames)
+	for _, d := range diags {
+		matched := false
+		for _, w := range wants {
+			if !w.met && sameFile(w.file, d.Pos.Filename) && w.line == d.Pos.Line && w.re.MatchString(d.Message) {
+				w.met = true
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			t.Errorf("unexpected diagnostic: %s", d)
+		}
+	}
+	for _, w := range wants {
+		if !w.met {
+			t.Errorf("%s:%d: want %q: no matching diagnostic", w.file, w.line, w.re)
+		}
+	}
+}
+
+func sameFile(a, b string) bool {
+	aa, err1 := filepath.Abs(a)
+	bb, err2 := filepath.Abs(b)
+	if err1 != nil || err2 != nil {
+		return a == b
+	}
+	return aa == bb
+}
+
+func unitOf(p *load.Package) *analysis.Unit {
+	return &analysis.Unit{Fset: p.Fset, Files: p.Files, Pkg: p.Types, Info: p.Info}
+}

@@ -1,0 +1,454 @@
+// Package bufpoolcheck enforces the arena ownership contract of the
+// data plane. Every buffer drawn from the shared arena — bufpool.Get,
+// or a receive vector from AllToAllv / A2AStream.Collect — has exactly
+// one owner, and the owner must either return it (bufpool.Put /
+// cluster.RecycleRecv) or hand it off (pass it to a callee, store it,
+// send it). PR 4 burned a debugging cycle on exactly the violations
+// this analyzer encodes: collective results aliasing never-recycled
+// arena buffers across an exported API boundary, and buffers stranded
+// on early-return paths.
+//
+// The analysis is intra-procedural and deliberately conservative:
+//
+//   - a Get/recv result that is neither released nor handed off
+//     anywhere in its function is a leak;
+//   - a buffer returned from an *exported* function or method is an
+//     escape across the API boundary — callers cannot know the slice
+//     aliases the arena (the PR-4 stranding class);
+//   - within one statement list, using a buffer after bufpool.Put —
+//     including a second Put — is a use-after-release.
+//
+// Handing a buffer to any call or store counts as a transfer, so
+// cross-function ownership (writer structs, send queues) never false-
+// positives; the cost is that only locally-obvious violations are
+// caught, which is the right trade for a blocking CI gate.
+package bufpoolcheck
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"demsort/internal/analysis"
+)
+
+const (
+	bufpoolPath = "demsort/internal/bufpool"
+	clusterPath = "demsort/internal/cluster"
+)
+
+// Analyzer is the arena ownership checker.
+var Analyzer = &analysis.Analyzer{
+	Name: "bufpoolcheck",
+	Doc: "pooled buffers (bufpool.Get, AllToAllv/Collect receives) must be " +
+		"released or handed off on every path, never used after Put, and " +
+		"never returned across exported API boundaries",
+	Run: run,
+}
+
+// use classification results, from weakest to strongest claim.
+const (
+	useSafe = iota
+	useReleased
+	useEscaped
+	useReturned
+)
+
+func run(pass *analysis.Pass) error {
+	if pass.Pkg.Path() == bufpoolPath {
+		return nil // the arena itself manages raw pointers by design
+	}
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			checkFunc(pass, fd)
+		}
+	}
+	return nil
+}
+
+// acquisition is one arena/recv buffer binding in a function.
+type acquisition struct {
+	obj  types.Object // the local variable bound to the buffer
+	pos  token.Pos    // the Get/recv call position
+	kind string       // "bufpool.Get" or the receiving op's name
+}
+
+func checkFunc(pass *analysis.Pass, fd *ast.FuncDecl) {
+	info := pass.TypesInfo
+	parents := buildParents(fd)
+
+	// Collect acquisitions and flag Get results that are discarded
+	// outright (an ExprStmt'd or blank-assigned Get can never be
+	// released).
+	acquired := map[types.Object]*acquisition{}
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		kind, isAcq := acquisitionKind(info, call)
+		if !isAcq {
+			return true
+		}
+		switch obj := boundObject(info, parents, call); {
+		case obj != nil:
+			if _, seen := acquired[obj]; !seen {
+				acquired[obj] = &acquisition{obj: obj, pos: call.Pos(), kind: kind}
+			}
+		case discarded(parents, call):
+			pass.Reportf(call.Pos(),
+				"result of %s is discarded: the pooled buffer can never be released", kind)
+		}
+		return true
+	})
+
+	// Classify every use of every acquired object.
+	released := map[types.Object]bool{}
+	escaped := map[types.Object]bool{}
+	exported := analysis.Exported(fd)
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		obj := info.Uses[id]
+		acq := acquired[obj]
+		if acq == nil {
+			return true
+		}
+		switch classifyUse(info, parents, id) {
+		case useReleased:
+			released[obj] = true
+		case useEscaped:
+			escaped[obj] = true
+		case useReturned:
+			escaped[obj] = true
+			if exported && acq.kind == "bufpool.Get" {
+				pass.Reportf(id.Pos(),
+					"pooled buffer %s (from %s) returned across exported API boundary %s: callers cannot know the slice aliases the arena",
+					id.Name, acq.kind, fd.Name.Name)
+			}
+		}
+		return true
+	})
+	for obj, acq := range acquired {
+		if !released[obj] && !escaped[obj] {
+			pass.Reportf(acq.pos,
+				"pooled buffer %s (from %s) is neither released (bufpool.Put/cluster.RecycleRecv) nor handed off in %s",
+				obj.Name(), acq.kind, fd.Name.Name)
+		}
+	}
+
+	// Direct `return bufpool.Get(...)` from an exported function.
+	if exported {
+		ast.Inspect(fd.Body, func(n ast.Node) bool {
+			ret, ok := n.(*ast.ReturnStmt)
+			if !ok {
+				return true
+			}
+			for _, res := range ret.Results {
+				if call, ok := peelToCall(res); ok {
+					if kind, isAcq := acquisitionKind(info, call); isAcq && kind == "bufpool.Get" {
+						pass.Reportf(res.Pos(),
+							"pooled buffer from bufpool.Get returned across exported API boundary %s", fd.Name.Name)
+					}
+				}
+			}
+			return true
+		})
+	}
+
+	// Sequential use-after-Put / double-Put within each statement list.
+	ast.Inspect(fd, func(n ast.Node) bool {
+		block, ok := n.(*ast.BlockStmt)
+		if !ok {
+			return true
+		}
+		checkBlockLiveness(pass, info, block)
+		return true
+	})
+}
+
+// peelToCall unwraps parens and reslices down to a call expression.
+func peelToCall(e ast.Expr) (*ast.CallExpr, bool) {
+	for {
+		switch ee := e.(type) {
+		case *ast.ParenExpr:
+			e = ee.X
+		case *ast.SliceExpr:
+			e = ee.X
+		case *ast.CallExpr:
+			return ee, true
+		default:
+			return nil, false
+		}
+	}
+}
+
+// acquisitionKind reports whether call acquires an arena-owned buffer
+// and, if so, how.
+func acquisitionKind(info *types.Info, call *ast.CallExpr) (string, bool) {
+	if analysis.IsPkgFunc(info, call, bufpoolPath, "Get") {
+		return "bufpool.Get", true
+	}
+	for _, op := range []string{"AllToAllv", "Collect"} {
+		if analysis.IsMethodOf(info, call, clusterPath, op) {
+			return op, true
+		}
+	}
+	return "", false
+}
+
+// boundObject returns the local variable an acquisition call is bound
+// to via `x := call` / `x = call` (possibly through parens or an
+// immediate reslice), or nil when the result flows elsewhere.
+func boundObject(info *types.Info, parents map[ast.Node]ast.Node, call *ast.CallExpr) types.Object {
+	// Climb through value-preserving wrappers.
+	var node ast.Node = call
+	for {
+		p := parents[node]
+		switch pp := p.(type) {
+		case *ast.ParenExpr:
+			node = pp
+			continue
+		case *ast.SliceExpr:
+			if pp.X == node {
+				node = pp
+				continue
+			}
+			return nil
+		case *ast.AssignStmt:
+			for i, rhs := range pp.Rhs {
+				if rhs == node && i < len(pp.Lhs) {
+					if id, ok := pp.Lhs[i].(*ast.Ident); ok && id.Name != "_" {
+						if obj := info.Defs[id]; obj != nil {
+							return obj
+						}
+						return info.Uses[id]
+					}
+				}
+			}
+			return nil
+		default:
+			return nil
+		}
+	}
+}
+
+// discarded reports whether the acquisition call's value is dropped on
+// the floor: an expression statement, or assignment to blank.
+func discarded(parents map[ast.Node]ast.Node, call *ast.CallExpr) bool {
+	switch p := parents[call].(type) {
+	case *ast.ExprStmt:
+		return true
+	case *ast.AssignStmt:
+		for i, rhs := range p.Rhs {
+			if rhs == call && i < len(p.Lhs) {
+				id, ok := p.Lhs[i].(*ast.Ident)
+				return ok && id.Name == "_"
+			}
+		}
+	}
+	return false
+}
+
+// classifyUse decides what one mention of an acquired buffer does with
+// it. Unknown contexts classify as escaped — the analyzer only reports
+// what it can locally prove.
+func classifyUse(info *types.Info, parents map[ast.Node]ast.Node, id *ast.Ident) int {
+	var node ast.Node = id
+	for {
+		switch p := parents[node].(type) {
+		case *ast.ParenExpr:
+			node = p
+		case *ast.SliceExpr:
+			if p.X == node {
+				node = p // an alias of the buffer: classify by its context
+				continue
+			}
+			return useSafe // used as a bound inside another slice expr
+		case *ast.IndexExpr:
+			return useSafe // element access, or used as an index
+		case *ast.CallExpr:
+			fn := analysis.CalleeFunc(info, p)
+			if fn != nil && fn.Pkg() != nil {
+				path, name := fn.Pkg().Path(), fn.Name()
+				if (path == bufpoolPath && name == "Put") ||
+					(path == clusterPath && name == "RecycleRecv") {
+					return useReleased
+				}
+			}
+			if bid, ok := ast.Unparen(p.Fun).(*ast.Ident); ok {
+				if b, ok := info.Uses[bid].(*types.Builtin); ok {
+					switch b.Name() {
+					case "len", "cap", "copy", "clear", "min", "max":
+						return useSafe
+					}
+				}
+			}
+			return useEscaped // handed to a callee: ownership transferred
+		case *ast.BinaryExpr:
+			return useSafe // comparisons (buf == nil) observe, not own
+		case *ast.AssignStmt:
+			for _, l := range p.Lhs {
+				if l == node {
+					return useSafe // rebinding the variable itself
+				}
+			}
+			return useEscaped // stored into another variable/field/slot
+		case *ast.ReturnStmt:
+			return useReturned
+		case *ast.RangeStmt:
+			if p.X == node {
+				return useSafe
+			}
+			return useEscaped
+		case *ast.IfStmt, *ast.ExprStmt, *ast.ForStmt, *ast.SwitchStmt:
+			return useSafe
+		default:
+			return useEscaped
+		}
+	}
+}
+
+// checkBlockLiveness walks one statement list in order, tracking
+// variables whose buffer has been returned to the arena by a
+// non-deferred bufpool.Put / cluster.RecycleRecv; any later mention
+// before rebinding is a use-after-release (a second Put doubly so:
+// the arena would hand the same backing array to two owners).
+func checkBlockLiveness(pass *analysis.Pass, info *types.Info, block *ast.BlockStmt) {
+	dead := map[types.Object]string{}
+	for _, stmt := range block.List {
+		if len(dead) > 0 {
+			reportDeadUses(pass, info, stmt, dead)
+		}
+		// Any rebinding anywhere inside the statement (including branch
+		// arms) resurrects the variable for the following siblings; a
+		// direct top-level Put/RecycleRecv kills it.
+		ast.Inspect(stmt, func(n ast.Node) bool {
+			asg, ok := n.(*ast.AssignStmt)
+			if !ok {
+				return true
+			}
+			for _, l := range asg.Lhs {
+				if id, ok := l.(*ast.Ident); ok {
+					if obj := info.Defs[id]; obj != nil {
+						delete(dead, obj)
+					} else if obj := info.Uses[id]; obj != nil {
+						delete(dead, obj)
+					}
+				}
+			}
+			return true
+		})
+		if s, ok := stmt.(*ast.ExprStmt); ok {
+			if call, ok := s.X.(*ast.CallExpr); ok {
+				if obj, how := releasedObject(info, call); obj != nil {
+					dead[obj] = how
+				}
+			}
+		}
+	}
+}
+
+// releasedObject returns the variable a direct release call frees, and
+// the call's name.
+func releasedObject(info *types.Info, call *ast.CallExpr) (types.Object, string) {
+	how := ""
+	switch {
+	case analysis.IsPkgFunc(info, call, bufpoolPath, "Put"):
+		how = "bufpool.Put"
+	case analysis.IsPkgFunc(info, call, clusterPath, "RecycleRecv"):
+		how = "cluster.RecycleRecv"
+	default:
+		return nil, ""
+	}
+	if len(call.Args) != 1 {
+		return nil, ""
+	}
+	id, ok := ast.Unparen(call.Args[0]).(*ast.Ident)
+	if !ok {
+		return nil, ""
+	}
+	if obj := info.Uses[id]; obj != nil {
+		return obj, how
+	}
+	return nil, ""
+}
+
+// reportDeadUses flags mentions of already-released buffers inside
+// stmt, without descending into function literals (a deferred closure
+// referencing the variable runs later, when it may be rebound).
+func reportDeadUses(pass *analysis.Pass, info *types.Info, stmt ast.Stmt, dead map[types.Object]string) {
+	// A rebinding inside this statement resurrects the variable from
+	// its own position on: only mentions strictly before it are uses of
+	// the released buffer, and the rebinding ident itself is a write.
+	rebound := map[types.Object]token.Pos{}
+	lhs := map[*ast.Ident]bool{}
+	ast.Inspect(stmt, func(n ast.Node) bool {
+		asg, ok := n.(*ast.AssignStmt)
+		if !ok {
+			return true
+		}
+		for _, l := range asg.Lhs {
+			id, ok := l.(*ast.Ident)
+			if !ok {
+				continue
+			}
+			lhs[id] = true
+			obj := info.Defs[id]
+			if obj == nil {
+				obj = info.Uses[id]
+			}
+			if _, isDead := dead[obj]; isDead {
+				if p, seen := rebound[obj]; !seen || id.Pos() < p {
+					rebound[obj] = id.Pos()
+				}
+			}
+		}
+		return true
+	})
+	ast.Inspect(stmt, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false // deferred closures run later, possibly after rebinding
+		}
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		obj := info.Uses[id]
+		how, isDead := dead[obj]
+		if !isDead || lhs[id] {
+			return true
+		}
+		if p, seen := rebound[obj]; seen && id.Pos() >= p {
+			return true
+		}
+		pass.Reportf(id.Pos(),
+			"use of pooled buffer %s after %s: the arena may already have handed its backing array to another owner",
+			id.Name, how)
+		return true
+	})
+}
+
+// buildParents maps every node under root to its parent.
+func buildParents(root ast.Node) map[ast.Node]ast.Node {
+	parents := map[ast.Node]ast.Node{}
+	var stack []ast.Node
+	ast.Inspect(root, func(n ast.Node) bool {
+		if n == nil {
+			stack = stack[:len(stack)-1]
+			return true
+		}
+		if len(stack) > 0 {
+			parents[n] = stack[len(stack)-1]
+		}
+		stack = append(stack, n)
+		return true
+	})
+	return parents
+}

@@ -1,0 +1,18 @@
+package bufpoolcheck_test
+
+import (
+	"testing"
+
+	"demsort/internal/analysis/atest"
+	"demsort/internal/analysis/bufpoolcheck"
+)
+
+func TestBufpoolcheck(t *testing.T) {
+	atest.Run(t, bufpoolcheck.Analyzer, "testdata/src/bufpooltest", "demsort/internal/fixture")
+}
+
+// TestBufpoolPackageExempt pins that the arena's own implementation
+// (raw pointer plumbing by design) is not analyzed.
+func TestBufpoolPackageExempt(t *testing.T) {
+	atest.Run(t, bufpoolcheck.Analyzer, "testdata/src/bufpoolself", "demsort/internal/bufpool")
+}

@@ -1,0 +1,166 @@
+// Package gojoin enforces goroutine hygiene in the failure-domain
+// packages (cluster/tcp and cluster/faulty): every goroutine launched
+// there — per-peer readers, liveness prober, background senders,
+// chaos timers — must be registered with a sync.WaitGroup before it
+// starts and must `defer wg.Done()`, so Close can join it. PR 6 spent
+// a debugging cycle on exactly this class: a leaked reader goroutine
+// outliving its machine, caught only by a goroutine-leak assertion at
+// test shutdown. Here the pattern is structural:
+//
+//   - the launching function must call WaitGroup.Add textually before
+//     the go statement;
+//   - the goroutine body (a function literal, or a same-package
+//     function/method) must contain a top-level `defer wg.Done()`.
+//
+// Fire-and-forget goroutines that are genuinely joined another way
+// need a `//lint:allow gojoin <reason>`.
+package gojoin
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"demsort/internal/analysis"
+)
+
+// Analyzer is the goroutine-join checker.
+var Analyzer = &analysis.Analyzer{
+	Name: "gojoin",
+	Doc: "every goroutine launched in cluster/tcp and cluster/faulty must be " +
+		"WaitGroup-registered before launch and defer Done, so Close joins it",
+	Run: run,
+}
+
+func targetPkg(path string) bool {
+	return strings.HasPrefix(path, "demsort/internal/cluster/tcp") ||
+		strings.HasPrefix(path, "demsort/internal/cluster/faulty")
+}
+
+func run(pass *analysis.Pass) error {
+	if !targetPkg(pass.Pkg.Path()) {
+		return nil
+	}
+	// Index this package's function and method declarations by object,
+	// so `go m.readLoop(...)` can be resolved to its body.
+	decls := map[types.Object]*ast.FuncDecl{}
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			if fd, ok := decl.(*ast.FuncDecl); ok && fd.Body != nil {
+				if obj := pass.TypesInfo.Defs[fd.Name]; obj != nil {
+					decls[obj] = fd
+				}
+			}
+		}
+	}
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				gs, ok := n.(*ast.GoStmt)
+				if !ok {
+					return true
+				}
+				checkGo(pass, fd, gs, decls)
+				return true
+			})
+		}
+	}
+	return nil
+}
+
+func checkGo(pass *analysis.Pass, enclosing *ast.FuncDecl, gs *ast.GoStmt, decls map[types.Object]*ast.FuncDecl) {
+	info := pass.TypesInfo
+
+	// 1. A WaitGroup.Add must precede the launch in the same function.
+	addSeen := false
+	ast.Inspect(enclosing.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok || call.Pos() >= gs.Pos() {
+			return true
+		}
+		if sel, ok := call.Fun.(*ast.SelectorExpr); ok && sel.Sel.Name == "Add" {
+			if tv, ok := info.Types[sel.X]; ok && analysis.IsWaitGroup(tv.Type) {
+				addSeen = true
+			}
+		}
+		return true
+	})
+	if !addSeen {
+		pass.Reportf(gs.Pos(),
+			"goroutine launched without a preceding WaitGroup.Add in %s: Close cannot know to wait for it",
+			enclosing.Name.Name)
+	}
+
+	// 2. The goroutine body must defer WaitGroup.Done.
+	var body *ast.BlockStmt
+	var bodyName string
+	switch fun := ast.Unparen(gs.Call.Fun).(type) {
+	case *ast.FuncLit:
+		body, bodyName = fun.Body, "the function literal"
+	default:
+		if fn := analysis.CalleeFunc(info, gs.Call); fn != nil {
+			if fd := decls[fn]; fd != nil {
+				body, bodyName = fd.Body, fn.Name()
+			}
+		}
+	}
+	if body == nil {
+		pass.Reportf(gs.Pos(),
+			"goroutine body is not a function literal or same-package function: cannot verify it defers WaitGroup.Done")
+		return
+	}
+	if !defersDone(info, body) {
+		pass.Reportf(gs.Pos(),
+			"goroutine %s does not `defer wg.Done()`: it will leak past Close (the PR-6 reader-leak class)",
+			bodyName)
+	}
+}
+
+// defersDone reports whether body contains a top-level
+// `defer wg.Done()` on a sync.WaitGroup (possibly wrapped in a defer'd
+// closure whose first statements include the Done).
+func defersDone(info *types.Info, body *ast.BlockStmt) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		// Do not descend into nested go statements: their bodies join
+		// their own goroutines.
+		if _, ok := n.(*ast.GoStmt); ok {
+			return false
+		}
+		ds, ok := n.(*ast.DeferStmt)
+		if !ok {
+			return true
+		}
+		if isWaitGroupDone(info, ds.Call) {
+			found = true
+			return false
+		}
+		// `defer func() { ...; wg.Done() }()` counts too.
+		if lit, ok := ast.Unparen(ds.Call.Fun).(*ast.FuncLit); ok {
+			ast.Inspect(lit.Body, func(m ast.Node) bool {
+				if call, ok := m.(*ast.CallExpr); ok && isWaitGroupDone(info, call) {
+					found = true
+				}
+				return !found
+			})
+		}
+		return !found
+	})
+	return found
+}
+
+func isWaitGroupDone(info *types.Info, call *ast.CallExpr) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "Done" {
+		return false
+	}
+	tv, ok := info.Types[sel.X]
+	return ok && analysis.IsWaitGroup(tv.Type)
+}

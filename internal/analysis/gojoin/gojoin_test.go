@@ -1,0 +1,19 @@
+package gojoin_test
+
+import (
+	"testing"
+
+	"demsort/internal/analysis/atest"
+	"demsort/internal/analysis/gojoin"
+)
+
+func TestGojoin(t *testing.T) {
+	atest.Run(t, gojoin.Analyzer, "testdata/src/gojoin", "demsort/internal/cluster/tcp")
+}
+
+// TestGojoinScopedToFailureDomain pins that packages outside
+// cluster/tcp and cluster/faulty (where goroutine lifetimes follow
+// other disciplines, e.g. the sim backend's rendezvous) are exempt.
+func TestGojoinScopedToFailureDomain(t *testing.T) {
+	atest.Run(t, gojoin.Analyzer, "testdata/src/gojoinexempt", "demsort/internal/cluster/sim")
+}

@@ -1,0 +1,79 @@
+// Fixture for gojoin: the PR-6 goroutine-leak class — backend
+// goroutines that Close cannot join because they were never
+// WaitGroup-registered or never signal Done.
+package tcp
+
+import "sync"
+
+type machine struct {
+	bg sync.WaitGroup
+}
+
+// leak is the historical bug minimized: a per-peer reader launched
+// with no registration and no Done.
+func (m *machine) leak() {
+	go func() { // want `without a preceding WaitGroup.Add` `does not .defer wg.Done`
+		for {
+		}
+	}()
+}
+
+// noDone is registered but never signals, so Close waits forever.
+func (m *machine) noDone() {
+	m.bg.Add(1)
+	go func() { // want `does not .defer wg.Done`
+	}()
+}
+
+// unverifiable launches a function value the analyzer cannot see into.
+func (m *machine) unverifiable(f func()) {
+	m.bg.Add(1)
+	go f() // want `cannot verify`
+}
+
+// --- clean idioms ---
+
+func (m *machine) okLit() {
+	m.bg.Add(1)
+	go func() {
+		defer m.bg.Done()
+	}()
+}
+
+func (m *machine) readLoop() {
+	defer m.bg.Done()
+	for {
+	}
+}
+
+func (m *machine) okMethod() {
+	m.bg.Add(1)
+	go m.readLoop()
+}
+
+// okClosureDone: Done inside a deferred cleanup closure counts.
+func (m *machine) okClosureDone() {
+	m.bg.Add(1)
+	go func() {
+		defer func() {
+			m.bg.Done()
+		}()
+	}()
+}
+
+// okLocal: a function-scoped WaitGroup joins before returning.
+func (m *machine) okLocal() {
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+	}()
+	wg.Wait()
+}
+
+// allowed is a deliberate, argued exception.
+func (m *machine) allowed() {
+	//lint:allow gojoin fixture: joined via channel handshake instead
+	go func() {
+	}()
+}

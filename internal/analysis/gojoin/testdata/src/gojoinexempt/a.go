@@ -1,0 +1,8 @@
+// The leak pattern with no want comments: outside the failure-domain
+// packages the analyzer must stay silent.
+package sim
+
+func spawn() {
+	go func() {
+	}()
+}

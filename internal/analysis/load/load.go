@@ -1,0 +1,192 @@
+// Package load type-checks module packages for the demsortvet
+// analyzers without golang.org/x/tools: `go list -export -deps -json`
+// enumerates the build list and compiles export data for every
+// dependency (stdlib included), the target packages are parsed from
+// source, and the stock gc importer resolves their imports straight
+// from the export files the go command reported. Everything is stdlib;
+// nothing needs the network.
+package load
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"runtime"
+	"strconv"
+)
+
+// Package is one parsed, type-checked target package.
+type Package struct {
+	ImportPath string
+	Dir        string
+	Fset       *token.FileSet
+	Files      []*ast.File
+	Types      *types.Package
+	Info       *types.Info
+	// TypeErrors holds non-fatal type-checking errors (the analyzers
+	// still run on what was resolved).
+	TypeErrors []error
+}
+
+// listedPkg is the subset of `go list -json` output the loader needs.
+type listedPkg struct {
+	ImportPath string
+	Dir        string
+	Export     string
+	GoFiles    []string
+	DepOnly    bool
+	Standard   bool
+	Error      *struct{ Err string }
+}
+
+// goList runs `go list -export -deps -json` on the patterns and
+// decodes the package stream.
+func goList(dir string, patterns []string) (map[string]*listedPkg, []string, error) {
+	args := append([]string{"list", "-export", "-deps", "-json"}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return nil, nil, fmt.Errorf("go list %v: %v\n%s", patterns, err, stderr.String())
+	}
+	pkgs := map[string]*listedPkg{}
+	var targets []string
+	dec := json.NewDecoder(bytes.NewReader(out))
+	for {
+		var p listedPkg
+		if err := dec.Decode(&p); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, nil, fmt.Errorf("go list %v: decoding: %v", patterns, err)
+		}
+		pkgs[p.ImportPath] = &p
+		if !p.DepOnly {
+			targets = append(targets, p.ImportPath)
+		}
+	}
+	return pkgs, targets, nil
+}
+
+// exportLookup builds the gc importer's lookup function over the
+// Export files go list reported.
+func exportLookup(pkgs map[string]*listedPkg) func(string) (io.ReadCloser, error) {
+	return func(path string) (io.ReadCloser, error) {
+		p := pkgs[path]
+		if p == nil || p.Export == "" {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(p.Export)
+	}
+}
+
+// newInfo allocates the fact maps the analyzers consume.
+func newInfo() *types.Info {
+	return &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+		Implicits:  map[ast.Node]types.Object{},
+		Scopes:     map[ast.Node]*types.Scope{},
+	}
+}
+
+// Load lists patterns (relative to dir, a directory inside the
+// module), parses every matched package from source and type-checks it
+// against compiler export data. Test files are not analyzed: the
+// invariants demsortvet enforces are production data-plane contracts,
+// and tests legitimately reach for wall clocks and raw errors.
+func Load(dir string, patterns ...string) ([]*Package, error) {
+	pkgs, targets, err := goList(dir, patterns)
+	if err != nil {
+		return nil, err
+	}
+	fset := token.NewFileSet()
+	imp := importer.ForCompiler(fset, "gc", exportLookup(pkgs))
+	var out []*Package
+	for _, path := range targets {
+		lp := pkgs[path]
+		if lp.Error != nil {
+			return nil, fmt.Errorf("package %s: %s", path, lp.Error.Err)
+		}
+		if len(lp.GoFiles) == 0 {
+			continue
+		}
+		var files []*ast.File
+		for _, name := range lp.GoFiles {
+			f, err := parser.ParseFile(fset, filepath.Join(lp.Dir, name), nil, parser.ParseComments|parser.SkipObjectResolution)
+			if err != nil {
+				return nil, fmt.Errorf("package %s: %v", path, err)
+			}
+			files = append(files, f)
+		}
+		p := &Package{ImportPath: path, Dir: lp.Dir, Fset: fset, Files: files, Info: newInfo()}
+		conf := types.Config{
+			Importer: imp,
+			Sizes:    types.SizesFor("gc", runtime.GOARCH),
+			Error:    func(err error) { p.TypeErrors = append(p.TypeErrors, err) },
+		}
+		p.Types, _ = conf.Check(path, fset, files, p.Info)
+		out = append(out, p)
+	}
+	return out, nil
+}
+
+// LoadFiles parses the given files as a single package with the given
+// import path and type-checks it, resolving its imports (and theirs)
+// through export data built from moduleDir. The fixture harness uses
+// it to type-check testdata packages that import real module packages
+// under a path of the harness's choosing, so path-sensitive analyzers
+// see the package they would in the real tree.
+func LoadFiles(moduleDir, pkgPath string, filenames []string) (*Package, error) {
+	fset := token.NewFileSet()
+	var files []*ast.File
+	importSet := map[string]bool{}
+	for _, name := range filenames {
+		f, err := parser.ParseFile(fset, name, nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+		for _, spec := range f.Imports {
+			p, err := strconv.Unquote(spec.Path.Value)
+			if err != nil {
+				return nil, fmt.Errorf("%s: bad import %s", name, spec.Path.Value)
+			}
+			if p != "unsafe" { // no export data; the importer resolves it itself
+				importSet[p] = true
+			}
+		}
+	}
+	var imports []string
+	for p := range importSet {
+		imports = append(imports, p)
+	}
+	pkgs := map[string]*listedPkg{}
+	if len(imports) > 0 {
+		var err error
+		pkgs, _, err = goList(moduleDir, imports)
+		if err != nil {
+			return nil, err
+		}
+	}
+	p := &Package{ImportPath: pkgPath, Fset: fset, Files: files, Info: newInfo()}
+	conf := types.Config{
+		Importer: importer.ForCompiler(fset, "gc", exportLookup(pkgs)),
+		Sizes:    types.SizesFor("gc", runtime.GOARCH),
+		Error:    func(err error) { p.TypeErrors = append(p.TypeErrors, err) },
+	}
+	p.Types, _ = conf.Check(pkgPath, fset, files, p.Info)
+	return p, nil
+}

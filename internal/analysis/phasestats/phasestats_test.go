@@ -1,0 +1,18 @@
+package phasestats_test
+
+import (
+	"testing"
+
+	"demsort/internal/analysis/atest"
+	"demsort/internal/analysis/phasestats"
+)
+
+func TestPhasestats(t *testing.T) {
+	atest.Run(t, phasestats.Analyzer, "testdata/src/phases", "demsort/internal/core")
+}
+
+// TestPhasestatsBackendExempt pins that backends (which implement the
+// ops rather than consume them) are out of scope.
+func TestPhasestatsBackendExempt(t *testing.T) {
+	atest.Run(t, phasestats.Analyzer, "testdata/src/phasesexempt", "demsort/internal/cluster/tcp")
+}

@@ -1,0 +1,42 @@
+// Fixture for phasestats: a blocking transport op ahead of the
+// function's first SetPhase charges its wait to the previous phase.
+package core
+
+import "demsort/internal/cluster"
+
+// badPhase is the mis-attribution bug: the barrier's wait lands in
+// whatever phase the caller left running.
+func badPhase(n *cluster.Node, send [][]byte) {
+	n.Barrier() // want `blocking transport op Barrier before this function's first SetPhase`
+	n.SetPhase("exchange")
+	recv := n.AllToAllv(send)
+	cluster.RecycleRecv(recv)
+}
+
+func badRecv(n *cluster.Node) {
+	payload := n.Recv(0, 7) // want `blocking transport op Recv before`
+	_ = payload
+	n.SetPhase("collect")
+}
+
+// goodPhase switches accounting first.
+func goodPhase(n *cluster.Node, send [][]byte) {
+	n.SetPhase("exchange")
+	n.Barrier()
+	recv := n.AllToAllv(send)
+	cluster.RecycleRecv(recv)
+}
+
+// helper has no SetPhase: it runs inside the caller's phase and is
+// not judged.
+func helper(n *cluster.Node) {
+	n.Barrier()
+}
+
+// allowed is a deliberate exception: a fence that genuinely belongs
+// to the predecessor phase.
+func allowed(n *cluster.Node) {
+	//lint:allow phasestats fixture: fence belongs to the previous phase
+	n.Barrier()
+	n.SetPhase("next")
+}

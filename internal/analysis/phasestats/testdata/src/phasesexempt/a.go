@@ -1,0 +1,10 @@
+// The bad pattern with no want comments: under a backend package path
+// the analyzer must stay silent.
+package tcp
+
+import "demsort/internal/cluster"
+
+func wouldBeBad(n *cluster.Node) {
+	n.Barrier()
+	n.SetPhase("exchange")
+}

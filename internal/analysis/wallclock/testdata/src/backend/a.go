@@ -1,0 +1,13 @@
+// Fixture for wallclock, type-checked under the tcp backend's package
+// path: wall-clock access is the backend's job, nothing is reported.
+package tcp
+
+import "time"
+
+func heartbeat() int64 {
+	return time.Now().UnixNano()
+}
+
+func backoff(d time.Duration) {
+	time.Sleep(d)
+}

@@ -1,0 +1,32 @@
+// Fixture for wallclock, type-checked under a backend-neutral package
+// path: every clock observation and real-time wait is a violation;
+// duration arithmetic and type references are not.
+package core
+
+import "time"
+
+func now() int64 {
+	return time.Now().UnixNano() // want `wall-clock access \(time.Now\)`
+}
+
+func nap() {
+	time.Sleep(time.Millisecond) // want `wall-clock access \(time.Sleep\)`
+}
+
+func elapsed(t0 time.Time) float64 {
+	return time.Since(t0).Seconds() // want `wall-clock access \(time.Since\)`
+}
+
+func tick() <-chan time.Time {
+	return time.After(time.Second) // want `wall-clock access \(time.After\)`
+}
+
+// durations and time values are data, not clock access.
+func okData(d time.Duration, t time.Time) time.Duration {
+	return d + 3*time.Second + time.Duration(t.Unix())
+}
+
+func okAllowed() int64 {
+	//lint:allow wallclock fixture: deliberate exception with a reason
+	return time.Now().UnixNano()
+}

@@ -1,0 +1,69 @@
+// Package wallclock forbids wall-clock access in backend-neutral
+// packages. The repo's tier-1 property — sim and tcp byte-identical,
+// virtual phase timings reproducible — holds only because phase code
+// (core, stripesort, baseline, the selection algorithms, blockio, the
+// cluster facade) never reads real time: all timing flows through
+// cluster.Stats / vtime, so the sim backend can run the same code on a
+// virtual clock. A stray time.Now in neutral code silently turns a
+// deterministic simulation into a wall-clock measurement (and a
+// time.Sleep turns it into a real stall). The tcp backend, the chaos
+// injector and the commands are exempt by package path; anything else
+// needs a `//lint:allow wallclock <reason>`.
+package wallclock
+
+import (
+	"go/ast"
+	"go/types"
+
+	"demsort/internal/analysis"
+)
+
+// forbidden lists the time functions that constitute wall-clock access
+// or real-time waiting. Pure data constructors (time.Date, time.Unix)
+// and formatting are fine — they do not observe the clock.
+var forbidden = map[string]bool{
+	"Now":       true,
+	"Sleep":     true,
+	"Since":     true,
+	"Until":     true,
+	"After":     true,
+	"AfterFunc": true,
+	"Tick":      true,
+	"NewTimer":  true,
+	"NewTicker": true,
+}
+
+// Analyzer is the wallclock checker. Target decides which package
+// paths are backend-neutral; it defaults to analysis.NeutralPkg.
+var Analyzer = &analysis.Analyzer{
+	Name: "wallclock",
+	Doc: "forbid time.Now/Sleep/Since/... in backend-neutral packages; " +
+		"timing must flow through cluster.Stats / vtime so sim and tcp " +
+		"stay byte-identical",
+	Run: run,
+}
+
+func run(pass *analysis.Pass) error {
+	if !analysis.NeutralPkg(pass.Pkg.Path()) {
+		return nil
+	}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			fn, ok := pass.TypesInfo.Uses[sel.Sel].(*types.Func)
+			if !ok || fn.Pkg() == nil || fn.Pkg().Path() != "time" {
+				return true
+			}
+			if forbidden[fn.Name()] {
+				pass.Reportf(sel.Pos(),
+					"wall-clock access (time.%s) in backend-neutral package %s: use cluster.Stats/vtime accounting instead",
+					fn.Name(), pass.Pkg.Path())
+			}
+			return true
+		})
+	}
+	return nil
+}

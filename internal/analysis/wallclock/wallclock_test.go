@@ -1,0 +1,18 @@
+package wallclock_test
+
+import (
+	"testing"
+
+	"demsort/internal/analysis/atest"
+	"demsort/internal/analysis/wallclock"
+)
+
+func TestWallclockNeutralPackage(t *testing.T) {
+	atest.Run(t, wallclock.Analyzer, "testdata/src/neutral", "demsort/internal/core")
+}
+
+// TestWallclockBackendExempt pins the allowlist: the same calls in the
+// tcp backend (real wall-clock by definition) report nothing.
+func TestWallclockBackendExempt(t *testing.T) {
+	atest.Run(t, wallclock.Analyzer, "testdata/src/backend", "demsort/internal/cluster/tcp")
+}

@@ -330,6 +330,7 @@ func SampleSort[T any](c elem.Codec[T], cfg Config, input [][]T) (*Result[T], er
 					flushRecv()
 				}
 			}
+			cluster.RecycleRecv(recv)
 		}
 		flushRecv()
 		n.Vol.Drain()

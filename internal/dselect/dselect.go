@@ -174,6 +174,7 @@ func Cuts[T any](c elem.Codec[T], n *cluster.Node, local []T, ranks []int64) []i
 				owned[j] = append(owned[j], pr)
 			}
 		}
+		cluster.RecycleRecv(props)
 		var pub []byte
 		for j := 0; j < nRanks; j++ {
 			if owner(j) != n.Rank {
@@ -335,6 +336,7 @@ func Cuts[T any](c elem.Codec[T], n *cluster.Node, local []T, ranks []int64) []i
 				}
 			}
 		}
+		cluster.RecycleRecv(replies)
 		sendD := make([][]byte, p)
 		for _, j := range splitRanks {
 			if owner(j) != n.Rank {
@@ -425,6 +427,7 @@ func Cuts[T any](c elem.Codec[T], n *cluster.Node, local []T, ranks []int64) []i
 				}
 			}
 		}
+		cluster.RecycleRecv(answers)
 	}
 	return out
 }
