@@ -6,7 +6,7 @@
 GO ?= go
 BIN := bin
 
-.PHONY: all build lint vet demsortvet staticcheck test race clean
+.PHONY: all build lint vet demsortvet staticcheck test race runform-bench clean
 
 all: build lint test
 
@@ -36,6 +36,11 @@ test:
 
 race:
 	$(GO) test -race -timeout 900s ./...
+
+# One-iteration smoke of the run-formation parallel radix benchmark —
+# the same gate CI runs; use -benchtime=10x locally for real numbers.
+runform-bench:
+	$(GO) test -bench=RunFormationScaling -benchtime=1x -run='^$$' .
 
 clean:
 	rm -rf $(BIN)

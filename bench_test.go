@@ -9,6 +9,8 @@ import (
 
 	demsort "demsort"
 	"demsort/internal/baseline"
+	"demsort/internal/psort"
+	"demsort/internal/sortbench"
 	"demsort/internal/workload"
 )
 
@@ -206,6 +208,43 @@ func BenchmarkSortStriped(b *testing.B) {
 				benchSink = res
 			}
 		})
+	}
+}
+
+// BenchmarkRunFormationScaling measures the in-node parallel radix
+// sorts run formation dispatches to: both engines (shared-histogram
+// LSD scatter, in-place American-flag MSD) at worker counts 1–8 on 1M
+// elements of each keyed codec. SetBytes reports sort throughput; the
+// copy restoring the unsorted input is excluded via timer stops.
+func BenchmarkRunFormationScaling(b *testing.B) {
+	const n = 1 << 20
+	kv := workload.Generate(workload.Uniform, 1, n, 7)[0]
+	rec := sortbench.Generate(7, 0, n)
+	kvDst := make([]demsort.KV16, n)
+	recDst := make([]demsort.Rec100, n)
+	for _, path := range []psort.Path{psort.PathLSD, psort.PathMSD} {
+		for _, w := range []int{1, 2, 4, 8} {
+			b.Run(fmt.Sprintf("KV16/%s/w%d", path, w), func(b *testing.B) {
+				b.SetBytes(n * 16)
+				for i := 0; i < b.N; i++ {
+					b.StopTimer()
+					copy(kvDst, kv)
+					b.StartTimer()
+					psort.SortPath[demsort.KV16](demsort.KV16Codec{}, kvDst, w, path)
+				}
+				benchSink = kvDst
+			})
+			b.Run(fmt.Sprintf("Rec100/%s/w%d", path, w), func(b *testing.B) {
+				b.SetBytes(n * 100)
+				for i := 0; i < b.N; i++ {
+					b.StopTimer()
+					copy(recDst, rec)
+					b.StartTimer()
+					psort.SortPath[demsort.Rec100](demsort.Rec100Codec{}, recDst, w, path)
+				}
+				benchSink = recDst
+			})
+		}
 	}
 }
 

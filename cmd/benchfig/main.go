@@ -8,7 +8,7 @@
 //
 // Usage:
 //
-//	benchfig [-out out] [-fig all|2|3|4|5|6|striped|sortbench|capacity|ablations|skew] [-json BENCH.json]
+//	benchfig [-out out] [-fig all|2|3|4|5|6|striped|overlap|runform|sortbench|capacity|ablations|skew] [-json BENCH.json]
 //
 // -fig also accepts a comma-separated selection (e.g. -fig 2,striped)
 // so one run archives several figures' timings in a single BENCH.json.
@@ -154,6 +154,7 @@ func main() {
 	run("6", saveFig("fig6", demsort.Fig6))
 	run("striped", saveFig("striped_phases", demsort.StripedPhases))
 	run("overlap", saveFig("overlap_ratio", demsort.OverlapRatios))
+	run("runform", saveFig("runform_scaling", demsort.RunFormScaling))
 	run("sortbench", saveTable("sortbench", func() (*demsort.Table, error) { return demsort.SortBenchTable(s) }))
 	run("capacity", saveTable("capacity", func() (*demsort.Table, error) { return demsort.CapacityTable(), nil }))
 	run("skew", saveTable("skew", func() (*demsort.Table, error) { return demsort.BaselineSkewTable(s) }))

@@ -2,11 +2,13 @@ package demsort
 
 import (
 	"fmt"
+	"time"
 
 	"demsort/internal/baseline"
 	"demsort/internal/core"
 	"demsort/internal/elem"
 	"demsort/internal/prefetch"
+	"demsort/internal/psort"
 	"demsort/internal/report"
 	"demsort/internal/sortbench"
 	"demsort/internal/vtime"
@@ -547,6 +549,71 @@ func AblationPrefetch() (*Figure, error) {
 		f.Add("naive (prediction order)", float64(w), float64(naive.NumSteps()))
 		f.Add("optimal (duality)", float64(w), float64(dual.NumSteps()))
 		f.Add("lower bound (max per-disk)", float64(w), float64(lb))
+	}
+	return f, nil
+}
+
+// RunFormScaling measures the in-node parallel radix sorts that run
+// formation dispatches to, on the host: both engines (shared-histogram
+// LSD scatter, in-place American-flag MSD) over worker counts 1–8 on
+// 1M elements of each keyed codec, reporting wall seconds and speedup
+// over the same engine at one worker. Unlike the other figures these
+// are real host measurements, not modelled times — BENCH.json archives
+// the curve per PR so benchdiff catches a parallel-sort regression
+// even when the modelled phase times (which charge a fixed SortCPU)
+// stay flat. On a 1-core host the curves honestly show the
+// coordination overhead instead of speedup; read them against
+// num_cpu in the same document.
+func RunFormScaling(s FigureScale) (*Figure, error) {
+	f := &Figure{Title: "Run-formation in-node sort: host-measured scaling, 1M elements",
+		XLabel: "workers", YLabel: "host time [s]"}
+	const n = 1 << 20
+	const reps = 3
+	workers := []int{1, 2, 4, 8}
+	paths := []psort.Path{psort.PathLSD, psort.PathMSD}
+
+	measure := func(prep, sort func()) float64 {
+		best := 0.0
+		for r := 0; r < reps; r++ {
+			prep()
+			start := time.Now() //lint:allow wallclock host benchmark figure: measures the real parallel sort, not simulated phases
+			sort()
+			el := time.Since(start).Seconds() //lint:allow wallclock host benchmark figure: measures the real parallel sort, not simulated phases
+			if best == 0 || el < best {
+				best = el
+			}
+		}
+		return best
+	}
+	record := func(series string, w int, t, t1 float64) {
+		f.Add(series, float64(w), t)
+		f.Add(series+", speedup", float64(w), t1/t)
+	}
+	kv := workload.Generate(workload.Uniform, 1, n, s.Seed)[0]
+	kvDst := make([]KV16, n)
+	rec := sortbench.Generate(s.Seed, 0, n)
+	recDst := make([]Rec100, n)
+	for _, path := range paths {
+		var t1 float64
+		for _, w := range workers {
+			t := measure(func() { copy(kvDst, kv) },
+				func() { psort.SortPath[KV16](KV16Codec{}, kvDst, w, path) })
+			if w == 1 {
+				t1 = t
+			}
+			record(fmt.Sprintf("KV16 1M, %s", path), w, t, t1)
+		}
+	}
+	for _, path := range paths {
+		var t1 float64
+		for _, w := range workers {
+			t := measure(func() { copy(recDst, rec) },
+				func() { psort.SortPath[Rec100](Rec100Codec{}, recDst, w, path) })
+			if w == 1 {
+				t1 = t
+			}
+			record(fmt.Sprintf("Rec100 1M, %s", path), w, t, t1)
+		}
 	}
 	return f, nil
 }

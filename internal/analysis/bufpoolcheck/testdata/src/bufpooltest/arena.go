@@ -1,0 +1,79 @@
+// Fixture for the PR-10 sort-arena idiom: a fixed-slot struct that
+// acquires several pooled buffers up front and releases them all on
+// one deferred path (covering panic unwind). Storing the Get result
+// into a struct slot is an ownership hand-off — the arena is clean by
+// construction — while a buffer kept in a local and never stored nor
+// released is still a leak.
+package fixture
+
+import "demsort/internal/bufpool"
+
+// sortArena mirrors psort's arena: every Get lands in a fixed slot so
+// release can return exactly what was acquired, on success and on
+// panic unwind alike.
+type sortArena struct {
+	bufs [4][]byte
+	n    int
+}
+
+func (ar *sortArena) grab(nbytes int) []byte {
+	b := bufpool.Get(nbytes)
+	ar.bufs[ar.n] = b // hand-off: slot store transfers ownership
+	ar.n++
+	return b
+}
+
+func (ar *sortArena) release() {
+	for i := 0; i < ar.n; i++ {
+		bufpool.Put(ar.bufs[i])
+		ar.bufs[i] = nil
+	}
+	ar.n = 0
+}
+
+// okArena: the real run-formation shape — acquire everything through
+// the arena, deferred release covers every exit including panics from
+// the sort body.
+func okArena(n int) {
+	var ar sortArena
+	defer ar.release()
+	a := ar.grab(n * 16)
+	b := ar.grab(n * 16)
+	fill(a)
+	fill(b)
+	mayPanic(a)
+}
+
+// okArenaEarlyReturn: conditional early return still releases via the
+// same defer.
+func okArenaEarlyReturn(n int) {
+	var ar sortArena
+	defer ar.release()
+	a := ar.grab(n)
+	if len(a) == 0 {
+		return
+	}
+	fill(a)
+}
+
+// leakArenaBypass: a buffer acquired beside the arena, kept in a
+// local, never stored into a slot and never released — the bug the
+// arena exists to prevent.
+func leakArenaBypass(n int) int {
+	var ar sortArena
+	defer ar.release()
+	a := ar.grab(n)
+	scratch := bufpool.Get(n) // want `neither released`
+	fill(a)
+	total := 0
+	for _, v := range scratch {
+		total += int(v)
+	}
+	return total
+}
+
+func mayPanic(b []byte) {
+	if len(b) == 1 {
+		panic("boom")
+	}
+}

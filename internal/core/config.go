@@ -82,6 +82,14 @@ type Config struct {
 	// stable for any worker count, but pinning removes all doubt in
 	// determinism-sensitive tests).
 	RealWorkers int
+	// RadixPath selects the radix engine for run formation's in-node
+	// sorts of keyed codecs (psort.SortPath). The zero value
+	// (psort.PathAuto) resolves per chunk against the live memory
+	// budget: the LSD scatter while its scratch fits the remaining
+	// headroom, the in-place American-flag MSD when memory is tight —
+	// scratch charged against m is scratch stolen from run length.
+	// Forcing a path is a test/benchmark knob.
+	RadixPath psort.Path
 	// KeepOutput retains the sorted output so Result.Output can read
 	// it back (tests); production callers stream it from the volumes.
 	KeepOutput bool

@@ -98,7 +98,7 @@ func runFormation[T any](c elem.Codec[T], n *cluster.Node, cfg *Config, d derive
 				n.Vol.Wait(p.handle)
 				blk := elem.DecodeSlice(c, p.raw, p.ext.Len)
 				bufpool.Put(p.raw)
-				psort.Sort(c, blk, cfg.RealWorkers)
+				sortChunkBudgeted(c, n, cfg, blk)
 				n.AddCPU(cfg.Model.SortCPU(int64(len(blk))) + cfg.Model.ScanCPU(int64(len(blk))))
 				blocks = append(blocks, blk)
 				n.Vol.Free(p.ext.ID)
@@ -113,7 +113,7 @@ func runFormation[T any](c elem.Codec[T], n *cluster.Node, cfg *Config, d derive
 				n.Vol.Free(p.ext.ID)
 			}
 			n.AddCPU(cfg.Model.ScanCPU(int64(len(chunk))))
-			psort.Sort(c, chunk, cfg.RealWorkers)
+			sortChunkBudgeted(c, n, cfg, chunk)
 			n.AddCPU(cfg.Model.SortCPU(int64(len(chunk))))
 		}
 		cur = next
@@ -177,6 +177,40 @@ func runFormation[T any](c elem.Codec[T], n *cluster.Node, cfg *Config, d derive
 	n.Vol.Drain()
 	n.Barrier()
 	return out, nil
+}
+
+// sortChunkBudgeted runs one of run formation's in-node sorts with
+// the radix scratch charged against the memory budget — historically a
+// blind spot: the keyIdx pair buffers and the LSD gather buffer were
+// invisible to the tracker. A PathAuto config resolves per chunk
+// against the live headroom: the LSD scatter while its scratch fits,
+// the in-place MSD when memory is tight (about half the scratch — one
+// pair buffer, no element gather buffer). Closure-only codecs bypass
+// the radix engines and charge nothing, as before.
+func sortChunkBudgeted[T any](c elem.Codec[T], n *cluster.Node, cfg *Config, chunk []T) {
+	if _, keyed := elem.Codec[T](c).(elem.KeyedCodec[T]); !keyed {
+		psort.Sort(c, chunk, cfg.RealWorkers)
+		return
+	}
+	path := cfg.RadixPath
+	if path == psort.PathAuto {
+		path = psort.PathLSD
+		need := scratchElems(psort.PathLSD, c.Size(), len(chunk), cfg.RealWorkers)
+		if lim := n.Mem.Limit(); lim > 0 && n.Mem.Used()+need > lim {
+			path = psort.PathMSD
+		}
+	}
+	scratch := scratchElems(path, c.Size(), len(chunk), cfg.RealWorkers)
+	n.Mem.MustAcquire(scratch)
+	psort.SortPath(c, chunk, cfg.RealWorkers, path)
+	n.Mem.Release(scratch)
+}
+
+// scratchElems converts psort's scratch bytes into budget elements
+// (rounded up) — the tracker's unit.
+func scratchElems(path psort.Path, elemSize, n, workers int) int64 {
+	b := psort.ScratchBytes(path, elemSize, n, workers)
+	return (b + int64(elemSize) - 1) / int64(elemSize)
 }
 
 // rankBounds returns the P+1 exact boundary ranks 0, N/P, 2N/P, …, N.

@@ -42,6 +42,13 @@ type Result[T any] struct {
 	// staging buffer, so this stays O(B) no matter how large the tile
 	// is (the membudget test pins it).
 	LoadPeakMemElems []int64
+	// RunFormPeakMemElems[rank] is the budget high-water mark at the
+	// end of run formation, which now includes the in-node radix sort
+	// scratch (pair buffers, histograms, and the LSD gather buffer —
+	// the in-place MSD path has no gather buffer, which the membudget
+	// test pins as roughly halved scratch). Zero when run formation
+	// was restored from a checkpoint instead of executed.
+	RunFormPeakMemElems []int64
 	// EndMemElems[rank] is the memory budget still reserved when the
 	// sort finished — always zero unless a phase leaks reservations
 	// (tests assert this).
@@ -267,6 +274,7 @@ func Sort[T any](c elem.Codec[T], cfg Config, input [][]T) (*Result[T], error) {
 	res.PeakDiskBlocks = make([]int64, cfg.P)
 	res.EndMemElems = make([]int64, cfg.P)
 	res.LoadPeakMemElems = make([]int64, cfg.P)
+	res.RunFormPeakMemElems = make([]int64, cfg.P)
 	runsSeen := make([]int, cfg.P)
 	subOps := make([]int, cfg.P)
 	totalN := make([]int64, cfg.P)
@@ -350,6 +358,7 @@ func Sort[T any](c elem.Codec[T], cfg Config, input [][]T) (*Result[T], error) {
 			if err != nil {
 				return err
 			}
+			res.RunFormPeakMemElems[n.Rank] = n.Mem.Peak()
 			meta = gatherRunsMeta(c, n, d, locals)
 			if durable {
 				man, err = commitRunform(c, n, &cfg, d, meta, locals)

@@ -63,3 +63,56 @@ func KeyFn[T any](c Codec[T]) (key func(T) uint64, exact bool) {
 	}
 	return func(T) uint64 { return 0 }, false
 }
+
+// BulkKeyer is an optional extension of KeyedCodec: extract the
+// normalized keys of a whole slice in one call. The radix sort's first
+// pass is a key-extraction scan over every element; a concrete bulk
+// method turns its per-element dynamic dispatch into one static call
+// per block, which the compiler can then unroll and vectorize.
+// KeysInto must behave exactly like Key applied elementwise.
+type BulkKeyer[T any] interface {
+	// KeysInto fills dst[i] with the key of vs[i]; len(dst) >= len(vs).
+	KeysInto(dst []uint64, vs []T)
+}
+
+// KeysInto implements BulkKeyer for U64.
+func (U64Codec) KeysInto(dst []uint64, vs []U64) {
+	for i, v := range vs {
+		dst[i] = uint64(v)
+	}
+}
+
+// KeysInto implements BulkKeyer for KV16.
+func (KV16Codec) KeysInto(dst []uint64, vs []KV16) {
+	for i := range vs {
+		dst[i] = vs[i].Key
+	}
+}
+
+// KeysInto implements BulkKeyer for Rec100.
+func (Rec100Codec) KeysInto(dst []uint64, vs []Rec100) {
+	for i := range vs {
+		dst[i] = binary.BigEndian.Uint64(vs[i][:8])
+	}
+}
+
+// Bulk-keyer conformance.
+var (
+	_ BulkKeyer[U64]    = U64Codec{}
+	_ BulkKeyer[KV16]   = KV16Codec{}
+	_ BulkKeyer[Rec100] = Rec100Codec{}
+)
+
+// KeysInto extracts the normalized keys of vs into dst, using the
+// codec's bulk keyer when it has one and falling back to per-element
+// Key calls otherwise. dst must hold at least len(vs) keys.
+func KeysInto[T any](c Codec[T], dst []uint64, vs []T) {
+	if bk, ok := c.(BulkKeyer[T]); ok {
+		bk.KeysInto(dst, vs)
+		return
+	}
+	key, _ := KeyFn(c)
+	for i, v := range vs {
+		dst[i] = key(v)
+	}
+}

@@ -146,6 +146,75 @@ func TestKeyFnFallback(t *testing.T) {
 	}
 }
 
+// TestKeysIntoMatchesKey pins the bulk-key contract: for every keyed
+// codec, KeysInto must produce exactly Key applied elementwise — the
+// radix engine's build pass depends on the two never diverging.
+func TestKeysIntoMatchesKey(t *testing.T) {
+	rng := rand.New(rand.NewPCG(9, 9))
+
+	t.Run("u64", func(t *testing.T) {
+		c := U64Codec{}
+		vs := make([]U64, 0, 600)
+		for _, k := range adversarialU64(rng) {
+			vs = append(vs, U64(k))
+		}
+		dst := make([]uint64, len(vs))
+		KeysInto[U64](c, dst, vs)
+		for i, v := range vs {
+			if dst[i] != c.Key(v) {
+				t.Fatalf("pos %d: KeysInto %#x != Key %#x", i, dst[i], c.Key(v))
+			}
+		}
+	})
+
+	t.Run("kv16", func(t *testing.T) {
+		c := KV16Codec{}
+		vs := make([]KV16, 777) // odd length: exercises any block tail
+		for i := range vs {
+			vs[i] = KV16{Key: rng.Uint64(), Val: rng.Uint64()}
+		}
+		dst := make([]uint64, len(vs))
+		KeysInto[KV16](c, dst, vs)
+		for i, v := range vs {
+			if dst[i] != c.Key(v) {
+				t.Fatalf("pos %d: KeysInto %#x != Key %#x", i, dst[i], c.Key(v))
+			}
+		}
+	})
+
+	t.Run("rec100", func(t *testing.T) {
+		c := Rec100Codec{}
+		vs := make([]Rec100, 333)
+		for i := range vs {
+			var k [10]byte
+			for j := range k {
+				k[j] = byte(rng.Uint64())
+			}
+			vs[i] = rec100With(k, byte(i))
+		}
+		dst := make([]uint64, len(vs))
+		KeysInto[Rec100](c, dst, vs)
+		for i, v := range vs {
+			if dst[i] != c.Key(v) {
+				t.Fatalf("pos %d: KeysInto %#x != Key %#x", i, dst[i], c.Key(v))
+			}
+		}
+	})
+}
+
+// TestKeysIntoFallback: a closure-only codec takes the KeyFn fallback
+// path, which is the constant-zero key.
+func TestKeysIntoFallback(t *testing.T) {
+	vs := []U64{7, 1 << 63, ^U64(0)}
+	dst := []uint64{1, 2, 3}
+	KeysInto[U64](closureCodec{}, dst, vs)
+	for i, k := range dst {
+		if k != 0 {
+			t.Fatalf("pos %d: fallback key %#x, want 0", i, k)
+		}
+	}
+}
+
 // closureCodec implements only Codec, never KeyedCodec.
 type closureCodec struct{}
 

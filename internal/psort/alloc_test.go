@@ -1,0 +1,70 @@
+//go:build !race
+
+// The allocation pin for the MSD path's headline claim: no n-sized
+// element gather buffer. Excluded under -race because the race
+// runtime's sync.Pool instrumentation drops pooled buffers at random,
+// which makes allocation deltas meaningless there.
+
+package psort
+
+import (
+	"math/rand/v2"
+	"runtime"
+	"testing"
+
+	"demsort/internal/elem"
+)
+
+// minAllocBytes returns the smallest single-call TotalAlloc delta
+// across reps — the steady-state allocation cost of f once pools are
+// warm, immune to a stray pool miss or GC-emptied class.
+func minAllocBytes(reps int, f func()) uint64 {
+	var m runtime.MemStats
+	best := ^uint64(0)
+	for i := 0; i < reps; i++ {
+		runtime.ReadMemStats(&m)
+		before := m.TotalAlloc
+		f()
+		runtime.ReadMemStats(&m)
+		if d := m.TotalAlloc - before; d < best {
+			best = d
+		}
+	}
+	return best
+}
+
+// TestMSDEliminatesGatherBuffer: with pools warm, a sequential LSD
+// sort of n KV16 elements still allocates the n-element gather buffer
+// (≈ 16n bytes — []T may hold pointers, so it can never come from the
+// byte pool), while the in-place MSD path allocates no element-sized
+// scratch at all. This is the allocation half of the halved-scratch
+// claim; the membudget half lives in core's TestRunFormScratchCharged.
+func TestMSDEliminatesGatherBuffer(t *testing.T) {
+	const n = 1 << 16
+	rng := rand.New(rand.NewPCG(51, 52))
+	base := randKV(rng, n, 1<<62)
+	buf := make([]elem.KV16, n)
+
+	// Warm the pair/histogram pool classes.
+	copy(buf, base)
+	SortPath[elem.KV16](kvc, buf, 1, PathLSD)
+	copy(buf, base)
+	SortPath[elem.KV16](kvc, buf, 1, PathMSD)
+
+	lsd := minAllocBytes(6, func() {
+		copy(buf, base)
+		SortPath[elem.KV16](kvc, buf, 1, PathLSD)
+	})
+	msd := minAllocBytes(6, func() {
+		copy(buf, base)
+		SortPath[elem.KV16](kvc, buf, 1, PathMSD)
+	})
+	t.Logf("steady-state bytes/sort: LSD %d, MSD %d", lsd, msd)
+
+	if lsd < n*16 {
+		t.Fatalf("LSD path allocated %d bytes, expected at least the %d-byte gather buffer", lsd, n*16)
+	}
+	if msd >= lsd/4 {
+		t.Fatalf("MSD path allocated %d bytes — the gather buffer was not eliminated (LSD: %d)", msd, lsd)
+	}
+}

@@ -1,21 +1,28 @@
 // Package psort is the shared-memory parallel sort used *inside* one
 // PE, standing in for the MCSTL/libstdc++ parallel mode the paper uses
 // ("To sort and to merge data internally we used the parallel mode of
-// the STL implementation of GCC 4.3.1"). It follows the same design as
-// the paper's distributed sort, one level down the hierarchy (§IV-E
-// "Hierarchical Parallelism"): sort core-local chunks, split them
-// exactly with multiway selection, and merge the parts in parallel.
+// the STL implementation of GCC 4.3.1"), per §IV-E "Hierarchical
+// Parallelism".
 //
-// The result equals a stable sort under the codec order regardless of
-// worker count: chunk sorts are stable (LSD radix on normalized keys
-// carries the original index; the comparison fallback is a stable
-// sort), the multiway selection breaks ties by (chunk, position), and
-// the part merges break ties by chunk index — together that reproduces
-// the original order of equal elements exactly.
+// Key-normalized codecs (elem.KeyedCodec) are sorted by a parallel
+// radix engine over (key, original index) pairs with two
+// interchangeable paths — a shared-histogram LSD scatter (lsd.go) and
+// an in-place American-flag MSD (msd.go) that needs roughly half the
+// scratch; see Path. Closure-only codecs keep the paper-shaped
+// pipeline one level down the hierarchy: sort core-local chunks, split
+// them exactly with multiway selection, merge the parts in parallel.
+//
+// Every path, for every worker count, produces the result of a stable
+// sort under the codec order, bit for bit: the radix engines sort the
+// pair array into the unique (key, index) order and permute the
+// elements once; the closure pipeline uses stable chunk sorts,
+// (chunk, position) tie-breaks in selection and chunk-index
+// tie-breaks in the merges.
 package psort
 
 import (
 	"runtime"
+	"slices"
 	"sync"
 
 	"demsort/internal/elem"
@@ -38,20 +45,50 @@ func DefaultWorkers() int {
 	return w
 }
 
-// Sort sorts vs in place using up to workers goroutines. workers <= 1
-// falls back to a sequential sort. Key-normalized codecs
-// (elem.KeyedCodec) take the radix path (radix.go); closure-only
-// codecs use a stable comparison sort. Either way the result equals a
-// stable sort under the codec order, for every worker count.
+// Sort sorts vs in place using up to workers goroutines, letting the
+// dispatcher pick the radix path (PathAuto). See SortPath.
 func Sort[T any](c elem.Codec[T], vs []T, workers int) {
+	SortPath(c, vs, workers, PathAuto)
+}
+
+// SortPath sorts vs in place using up to workers goroutines and the
+// requested radix path for keyed codecs (PathAuto resolves to the LSD
+// scatter; callers that must respect a memory budget pick explicitly —
+// see ScratchBytes). Closure-only codecs ignore path and use the
+// stable chunk-sort/select/merge pipeline. The result equals a stable
+// sort under the codec order for every worker count and every path.
+func SortPath[T any](c elem.Codec[T], vs []T, workers int, path Path) {
 	n := len(vs)
-	if workers <= 1 || n < 4*workers || n < 1024 {
-		sortChunk(c, vs, nil)
+	if n < 2 {
 		return
 	}
-	// The merge scratch doubles as the radix permute buffer: chunk w
-	// sorts vs[lo:hi] with out[lo:hi] as scratch, and after the sorts
-	// complete the same buffer receives the merged parts.
+	kc, keyed := elem.Codec[T](c).(elem.KeyedCodec[T])
+	if !keyed {
+		sortClosure(c, vs, workers)
+		return
+	}
+	if n < radixMinLen {
+		slices.SortStableFunc(vs, cmp[T](c))
+		return
+	}
+	w := radixWorkers(n, workers)
+	if path == PathMSD {
+		radixMSD(kc, vs, w)
+	} else {
+		radixLSD(kc, vs, w)
+	}
+}
+
+// sortClosure is the comparator pipeline for codecs without normalized
+// keys: stable-sort `workers` chunks concurrently, split them exactly
+// with multiway selection, merge the parts in parallel. One join per
+// sort (not per digit), so the old small-n guard still holds.
+func sortClosure[T any](c elem.Codec[T], vs []T, workers int) {
+	n := len(vs)
+	if workers <= 1 || n < 4*workers || n < closureParMin {
+		slices.SortStableFunc(vs, cmp(c))
+		return
+	}
 	out := make([]T, n)
 	// 1. Sort `workers` chunks concurrently.
 	chunks := make([][]T, workers)
@@ -61,10 +98,10 @@ func Sort[T any](c elem.Codec[T], vs []T, workers int) {
 		hi := n * (w + 1) / workers
 		chunks[w] = vs[lo:hi]
 		wg.Add(1)
-		go func(part, tmp []T) {
+		go func(part []T) {
 			defer wg.Done()
-			sortChunk(c, part, tmp)
-		}(chunks[w], out[lo:hi])
+			slices.SortStableFunc(part, cmp(c))
+		}(chunks[w])
 	}
 	wg.Wait()
 

@@ -42,18 +42,22 @@ func adversarialKV(rng *rand.Rand, n int) []elem.KV16 {
 	return vs
 }
 
-// TestRadixMatchesStableSort: the radix path must reproduce a stable
-// comparison sort bit-for-bit, payloads included.
+// TestRadixMatchesStableSort: both radix engines must reproduce a
+// stable comparison sort bit-for-bit, payloads included.
 func TestRadixMatchesStableSort(t *testing.T) {
 	rng := rand.New(rand.NewPCG(21, 22))
 	for _, n := range []int{radixMinLen, 1000, 1 << 14} {
 		vs := adversarialKV(rng, n)
 		want := slices.Clone(vs)
 		slices.SortStableFunc(want, cmp[elem.KV16](kvc))
-		got := slices.Clone(vs)
-		radixSort[elem.KV16](kvc, got, nil)
-		if !slices.Equal(got, want) {
-			t.Fatalf("n=%d: radix differs from stable sort", n)
+		for _, path := range []Path{PathLSD, PathMSD} {
+			for _, workers := range []int{1, 4} {
+				got := slices.Clone(vs)
+				SortPath[elem.KV16](kvc, got, workers, path)
+				if !slices.Equal(got, want) {
+					t.Fatalf("n=%d path=%v workers=%d: radix differs from stable sort", n, path, workers)
+				}
+			}
 		}
 	}
 }
@@ -78,9 +82,12 @@ func TestRadixRec100TailTies(t *testing.T) {
 	}
 	want := slices.Clone(vs)
 	slices.SortStableFunc(want, cmp[elem.Rec100](rc))
-	radixSort[elem.Rec100](rc, vs, nil)
-	if !slices.Equal(vs, want) {
-		t.Fatal("radix with tail fix-up differs from stable sort")
+	for _, path := range []Path{PathLSD, PathMSD} {
+		got := slices.Clone(vs)
+		SortPath[elem.Rec100](rc, got, 2, path)
+		if !slices.Equal(got, want) {
+			t.Fatalf("path=%v: radix with tail fix-up differs from stable sort", path)
+		}
 	}
 }
 

@@ -16,6 +16,34 @@ import (
 	"demsort/internal/xmerge"
 )
 
+// sortChunkBudgeted mirrors core's run-formation sort: the radix
+// scratch (pair buffers, histograms, LSD gather buffer) is charged
+// against the memory budget, and a PathAuto config resolves per chunk
+// against the live headroom — LSD scatter while its scratch fits, the
+// in-place MSD when memory is tight. Closure-only codecs bypass the
+// radix engines and charge nothing.
+func sortChunkBudgeted[T any](c elem.Codec[T], n *cluster.Node, cfg *Config, chunk []T) {
+	if _, keyed := elem.Codec[T](c).(elem.KeyedCodec[T]); !keyed {
+		psort.Sort(c, chunk, cfg.RealWorkers)
+		return
+	}
+	scratchElems := func(path psort.Path) int64 {
+		b := psort.ScratchBytes(path, c.Size(), len(chunk), cfg.RealWorkers)
+		return (b + int64(c.Size()) - 1) / int64(c.Size())
+	}
+	path := cfg.RadixPath
+	if path == psort.PathAuto {
+		path = psort.PathLSD
+		if lim := n.Mem.Limit(); lim > 0 && n.Mem.Used()+scratchElems(psort.PathLSD) > lim {
+			path = psort.PathMSD
+		}
+	}
+	scratch := scratchElems(path)
+	n.Mem.MustAcquire(scratch)
+	psort.SortPath(c, chunk, cfg.RealWorkers, path)
+	n.Mem.Release(scratch)
+}
+
 // runPE executes the whole striped sort on one PE. Input arrives
 // either as src (a stream of srcN encoded elements, loaded through one
 // staging block) or as the myInput slice; sink receives the rank's
@@ -109,7 +137,7 @@ func runPE[T any](c elem.Codec[T], n *cluster.Node, cfg *Config, bElem, bpr int,
 			}
 		}
 		n.Mem.MustAcquire(int64(len(chunk)))
-		psort.Sort(c, chunk, cfg.RealWorkers)
+		sortChunkBudgeted(c, n, cfg, chunk)
 		n.AddCPU(cfg.Model.SortCPU(int64(len(chunk))) + cfg.Model.ScanCPU(int64(len(chunk))))
 
 		runLen := n.AllReduceInt64(int64(len(chunk)), "sum")

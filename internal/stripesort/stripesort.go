@@ -55,6 +55,11 @@ type Config struct {
 	Overlap bool
 	// RealWorkers is the genuine sorting parallelism inside a PE.
 	RealWorkers int
+	// RadixPath selects the keyed-codec radix engine of the run
+	// formation sorts, mirroring core.Config.RadixPath: PathAuto (zero
+	// value) picks the LSD scatter while its scratch fits the live
+	// budget headroom and the in-place MSD otherwise.
+	RadixPath psort.Path
 	// KeepOutput retains the sorted output for validation. It is
 	// implemented on top of the Sink path (the output blocks are
 	// re-routed from their striped homes to canonical owners and
